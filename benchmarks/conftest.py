@@ -1,0 +1,22 @@
+"""Benchmark configuration.
+
+Each bench regenerates one paper table/figure in quick mode (TINY or
+KEYLOG profile) and asserts its qualitative shape, so `pytest
+benchmarks/ --benchmark-only` both times the harness and re-validates
+the reproduction.  Experiments are too slow for statistical repetition:
+every bench uses pedantic mode with one round.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,55 @@
+"""Ablation: STFT size and hop.
+
+The paper uses M=1024 with "maximum overlapping" (hop 1); DESIGN.md
+documents why this library defaults to M=256 with hop 32.  This bench
+sweeps (fft_size, hop) and reports the total error rate of each
+configuration, demonstrating (a) insensitivity to hop well below one
+bit period and (b) the deletion blow-up once the window spans more than
+a bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.acquisition import AcquisitionConfig
+from repro.core.decoder import DecoderConfig
+from repro.covert.link import CovertLink
+from repro.params import TINY
+from repro.systems.laptops import DELL_INSPIRON
+
+
+def total_error_rate(config, payload):
+    link = CovertLink(
+        machine=DELL_INSPIRON,
+        profile=TINY,
+        seed=17,
+        decoder_config=DecoderConfig(acquisition=config),
+    )
+    m = link.run(payload).metrics
+    return m.ber + m.insertion_probability + m.deletion_probability
+
+
+def test_bench_ablation_fft_and_hop(benchmark):
+    payload = np.random.default_rng(48).integers(0, 2, size=120)
+
+    def sweep():
+        return {
+            (256, 16): total_error_rate(
+                AcquisitionConfig(fft_size=256, hop=16), payload
+            ),
+            (256, 32): total_error_rate(
+                AcquisitionConfig(fft_size=256, hop=32), payload
+            ),
+            (256, 64): total_error_rate(
+                AcquisitionConfig(fft_size=256, hop=64), payload
+            ),
+            (1024, 32): total_error_rate(
+                AcquisitionConfig(fft_size=1024, hop=32), payload
+            ),
+        }
+
+    errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Hop insensitivity at fixed window size.
+    assert abs(errors[(256, 16)] - errors[(256, 32)]) < 0.05
+    # A window longer than a bit period costs real errors.
+    assert errors[(1024, 32)] > errors[(256, 32)]

@@ -1,0 +1,79 @@
+"""Ablation: what actually sets the channel's OOK depth.
+
+Section II attributes the side channel to the VRM's light-load phase
+shedding.  This bench measures the envelope's on/off contrast (the
+channel's raw SNR) while sweeping (a) the shedding threshold and (b)
+the processor's deep-idle residual current, and documents a subtle
+point the simulation makes measurable: the f0 *line amplitude* is
+proportional to the load current in both switching regimes - shedding
+at rate f0/m with charge m*q has the same f0 Fourier component as
+every-period switching with charge q.  The OOK depth is therefore set
+by the active/idle *current ratio* (i.e. by the C-states); shedding
+changes the spectral structure (subharmonics, efficiency) rather than
+the line depth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.acquisition import AcquisitionConfig, acquire
+from repro.em.environment import near_field_scenario
+from repro.params import TINY
+from repro.power.pmu import PMU
+from repro.power.states import default_table
+from repro.power.workload import alternating_workload
+from repro.sdr.rtlsdr import RtlSdrV3
+from repro.systems.laptops import DELL_INSPIRON
+from repro.vrm.buck import BuckConverter, BuckDesign
+from repro.vrm.emission import EmissionModel
+
+
+def contrast_for(shed_fraction: float, deep_idle_current_a: float) -> float:
+    machine = DELL_INSPIRON
+    profile = TINY
+    rng = np.random.default_rng(3)
+    table = default_table(deep_idle_current_a=deep_idle_current_a)
+    pmu = PMU(table, governor=machine.governor(table, profile), rng=rng)
+    workload = alternating_workload(
+        profile.dilate(8e-3), profile.dilate(1e-3), profile.dilate(1e-3)
+    )
+    trace = pmu.run(workload)
+    load = trace.current_draw(table.current_a)
+    f0 = machine.vrm_frequency_hz / profile.total_freq_divisor
+    design = BuckDesign(switching_frequency_hz=f0, shed_fraction=shed_fraction)
+    bursts = BuckConverter(design, rng=rng).simulate(load)
+    wave = EmissionModel().synthesize(bursts, profile.rf_sample_rate_hz)
+    scenario = near_field_scenario(
+        1.5 * f0, physics_frequency_hz=1.5 * machine.vrm_frequency_hz
+    )
+    received = scenario.apply(wave, profile.rf_sample_rate_hz, rng)
+    capture = RtlSdrV3(sample_rate=profile.sdr_sample_rate_hz).capture(
+        received, profile.rf_sample_rate_hz, 1.5 * f0, rng
+    )
+    envelope = acquire(capture, f0, AcquisitionConfig(fft_size=256, hop=64))
+    hi = float(np.percentile(envelope.samples, 85))
+    lo = float(np.percentile(envelope.samples, 15))
+    return hi / max(lo, 1e-9)
+
+
+def test_bench_ablation_shedding_and_idle_current(benchmark):
+    def sweep():
+        return {
+            ("shed=0.002", "idle=0.15A"): contrast_for(0.002, 0.15),
+            ("shed=0.12", "idle=0.15A"): contrast_for(0.12, 0.15),
+            ("shed=0.12", "idle=1.5A"): contrast_for(0.12, 1.5),
+            ("shed=0.12", "idle=4A"): contrast_for(0.12, 4.0),
+        }
+
+    contrasts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # (a) OOK depth tracks the active/idle current ratio...
+    assert (
+        contrasts[("shed=0.12", "idle=0.15A")]
+        > 2 * contrasts[("shed=0.12", "idle=1.5A")]
+        > 2 * contrasts[("shed=0.12", "idle=4A")]
+    )
+    # ...(b) and is insensitive to the shedding threshold itself: the
+    # f0 line amplitude is current-proportional in both regimes.
+    lo_shed = contrasts[("shed=0.002", "idle=0.15A")]
+    hi_shed = contrasts[("shed=0.12", "idle=0.15A")]
+    assert 0.5 < lo_shed / hi_shed < 2.0

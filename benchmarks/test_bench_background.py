@@ -1,0 +1,15 @@
+"""Bench E-BGND: transmission under resource-intensive background load."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_background(run_once):
+    result = run_once(get_experiment("background"), quick=True, seed=0)
+    rows = {r["condition"]: r for r in result.rows}
+    quiet = rows["quiet, full rate"]
+    loaded = rows["background, full rate"]
+    slowed = rows["background, rate -15%"]
+    # Background load degrades the raw channel; slowing down recovers
+    # (at least) the insertion rate.
+    assert loaded["BER"] + loaded["IP"] > quiet["BER"] + quiet["IP"]
+    assert slowed["IP"] <= loaded["IP"]

@@ -1,0 +1,11 @@
+"""Bench: the Section VI countermeasure sweep."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_countermeasures(run_once):
+    result = run_once(get_experiment("countermeasures"), quick=True, seed=0)
+    rows = {r["countermeasure"]: r for r in result.rows}
+    assert rows["none (baseline)"]["channel_usable"]
+    assert not rows["disable P+C states"]["channel_usable"]
+    assert not rows["VRM dithering +/-5%"]["channel_usable"]

@@ -1,0 +1,9 @@
+"""Bench E-FIG11: the "can you hear me" keylogging spectrogram."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_fig11(run_once):
+    result = run_once(get_experiment("fig11"), quick=True, seed=0)
+    rows = {r["quantity"]: r["value"] for r in result.rows}
+    assert abs(rows["characters typed (incl. spaces)"] - rows["spikes detected"]) <= 2

@@ -1,0 +1,10 @@
+"""Bench E-FIG2: regenerate the Figure 2 spectrogram experiment."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_fig2(run_once):
+    result = run_once(get_experiment("fig2"), quick=True, seed=1)
+    by_component = {r["component"]: r for r in result.rows}
+    assert by_component["1*f0"]["on_off_contrast"] > 5
+    assert by_component["2*f0"]["on_off_contrast"] > 5

@@ -1,0 +1,9 @@
+"""Bench E-FIG4: the Eq. 1 envelope / bit-overlay experiment."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_fig4(run_once):
+    result = run_once(get_experiment("fig4"), quick=True, seed=1)
+    rows = {r["quantity"]: r for r in result.rows}
+    assert rows["one/zero separation"]["mean"] > 5

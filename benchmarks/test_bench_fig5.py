@@ -1,0 +1,9 @@
+"""Bench E-FIG5: edge-detection convolution alignment."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_fig5(run_once):
+    result = run_once(get_experiment("fig5"), quick=True, seed=1)
+    rows = {r["quantity"]: r for r in result.rows}
+    assert rows["starts within 0.3 period of a true edge"]["value"] > 0.9

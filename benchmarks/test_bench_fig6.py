@@ -1,0 +1,10 @@
+"""Bench E-FIG6: pulse-width distribution statistics."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_fig6(run_once):
+    result = run_once(get_experiment("fig6"), quick=True, seed=1)
+    rows = {r["statistic"]: r["value"] for r in result.rows}
+    assert rows["skewness (positive expected)"] > 0
+    assert rows["n widths"] > 50

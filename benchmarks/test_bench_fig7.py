@@ -1,0 +1,10 @@
+"""Bench E-FIG7: bimodal power distribution and threshold selection."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_fig7(run_once):
+    result = run_once(get_experiment("fig7"), quick=True, seed=1)
+    rows = {r["quantity"]: r["value"] for r in result.rows}
+    assert rows["threshold between modes"]
+    assert rows["mode separation (hi/lo)"] > 3

@@ -1,0 +1,12 @@
+"""Bench E-FIG8: insertions/deletions under interrupt storms."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_fig8(run_once):
+    result = run_once(get_experiment("fig8"), quick=True, seed=1)
+    rows = {r["condition"]: r for r in result.rows}
+    normal = rows["normal interrupts"]
+    storm = rows["interrupt storm"]
+    assert storm["raw_BER"] >= normal["raw_BER"]
+    assert normal["payload_bit_errors"] == 0

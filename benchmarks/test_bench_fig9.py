@@ -1,0 +1,11 @@
+"""Bench E-FIG9: transmission-rate comparison with prior work."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_fig9(run_once):
+    result = run_once(get_experiment("fig9"), quick=True, seed=1)
+    speedup = [
+        r for r in result.rows if r["channel"].startswith("speedup")
+    ][0]["rate_bps"]
+    assert speedup > 3.0

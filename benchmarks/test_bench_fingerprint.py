@@ -1,0 +1,9 @@
+"""Bench: website fingerprinting accuracy (Section III attack model)."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_fingerprint(run_once):
+    result = run_once(get_experiment("fingerprint"), quick=True, seed=0)
+    row = result.rows[0]
+    assert row["accuracy"] > 4 * row["chance"]

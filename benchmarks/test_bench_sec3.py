@@ -1,0 +1,12 @@
+"""Bench E-SEC3: the BIOS P/C-state disable experiment."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_sec3(run_once):
+    result = run_once(get_experiment("sec3"), quick=True, seed=1)
+    rows = {r["bios_config"]: r for r in result.rows}
+    assert rows["C+P enabled"]["spikes_present"]
+    assert rows["C disabled"]["spikes_present"]
+    assert rows["P disabled"]["spikes_present"]
+    assert not rows["C+P disabled"]["spikes_present"]

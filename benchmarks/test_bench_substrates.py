@@ -1,0 +1,58 @@
+"""Micro-benchmarks of the hot substrate paths.
+
+These are conventional pytest-benchmark timings (multiple rounds) of
+the kernels the experiments spend their time in, so performance
+regressions in the simulation core are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.align import align_bits
+from repro.dsp.stft import stft
+from repro.types import PiecewiseConstant
+from repro.vrm.buck import BuckConverter, BuckDesign
+from repro.vrm.emission import EmissionModel
+
+
+@pytest.fixture(scope="module")
+def burst_train():
+    design = BuckDesign(switching_frequency_hz=970e3)
+    buck = BuckConverter(design, rng=np.random.default_rng(0))
+    load = PiecewiseConstant(
+        np.linspace(0, 0.05, 200, endpoint=False),
+        np.tile([16.0, 0.15], 100),
+        0.05,
+    )
+    return buck, load
+
+
+def test_bench_buck_simulation(benchmark, burst_train):
+    buck, load = burst_train
+    bursts = benchmark(buck.simulate, load)
+    assert bursts.count > 10_000
+
+
+def test_bench_emission_synthesis(benchmark, burst_train):
+    buck, load = burst_train
+    bursts = buck.simulate(load)
+    emitter = EmissionModel()
+    wave = benchmark(emitter.synthesize, bursts, 9.6e6)
+    assert wave.size == int(0.05 * 9.6e6)
+
+
+def test_bench_stft(benchmark):
+    rng = np.random.default_rng(1)
+    samples = (
+        rng.standard_normal(240_000) + 1j * rng.standard_normal(240_000)
+    ).astype(np.complex64)
+    spec = benchmark(stft, samples, 2.4e6, 1024, 32)
+    assert spec.magnitudes.shape[1] == 1024
+
+
+def test_bench_alignment(benchmark):
+    rng = np.random.default_rng(2)
+    tx = rng.integers(0, 2, size=1500)
+    rx = np.delete(tx, [100, 900])
+    metrics = benchmark(align_bits, tx, rx)
+    assert metrics.deletions == 2

@@ -1,0 +1,14 @@
+"""Bench E-TAB2: the near-field Table II sweep over all six laptops."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_table2(run_once):
+    result = run_once(get_experiment("table2"), quick=True, seed=0)
+    assert len(result.rows) == 6
+    for row in result.rows:
+        assert row["BER"] < 0.05
+        if "Windows" in row["OS"]:
+            assert row["TR_bps"] < 1200
+        else:
+            assert row["TR_bps"] > 2500

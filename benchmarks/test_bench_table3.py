@@ -1,0 +1,13 @@
+"""Bench E-TAB3 / E-NLOS: distance and through-wall Table III sweep."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_table3(run_once):
+    result = run_once(get_experiment("table3"), quick=True, seed=0)
+    trs = [r["TR_bps"] for r in result.rows]
+    assert trs[1] > trs[2] > trs[3] > trs[4]
+    # The through-wall (NLoS) row still clears 700 bps at low BER.
+    wall = result.rows[-1]
+    assert wall["TR_bps"] > 700
+    assert wall["BER"] < 0.06

@@ -1,0 +1,12 @@
+"""Bench E-TAB4: keylogging accuracy vs distance (Table IV)."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_table4(run_once):
+    result = run_once(get_experiment("table4"), quick=True, seed=0)
+    assert len(result.rows) == 3
+    for row in result.rows:
+        assert row["char_TPR"] > 0.9
+        assert row["char_FPR"] < 0.1
+        assert row["word_recall"] > 0.85

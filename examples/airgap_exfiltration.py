@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Air-gap exfiltration at a distance and through a wall (Table III).
+
+Sweeps the paper's measurement setups - near-field probe, loop antenna
+at 1/1.5/2.5 m, and the through-wall office scenario with a printer and
+refrigerator interfering - and shows how the attacker trades
+transmission rate for reliability as the link budget shrinks.
+
+Run:
+    python examples/airgap_exfiltration.py
+"""
+
+import numpy as np
+
+from repro.chain import paper_tuned_frequency_hz, tuned_frequency_hz
+from repro.covert import CovertLink, evaluate_link
+from repro.em import distance_scenario, near_field_scenario, through_wall_scenario
+from repro.params import TINY
+from repro.systems import DELL_INSPIRON
+
+
+def main() -> None:
+    machine = DELL_INSPIRON
+    profile = TINY
+    band = tuned_frequency_hz(machine, profile)
+    physics = paper_tuned_frequency_hz(machine)
+
+    setups = [
+        ("coil probe, 10 cm", near_field_scenario(band, physics_frequency_hz=physics), 1.00),
+        ("loop antenna, 1 m", distance_scenario(1.0, band, physics_frequency_hz=physics), 0.59),
+        ("loop antenna, 1.5 m", distance_scenario(1.5, band, physics_frequency_hz=physics), 0.46),
+        ("loop antenna, 2.5 m", distance_scenario(2.5, band, physics_frequency_hz=physics), 0.35),
+        ("through 35 cm wall", through_wall_scenario(band, physics_frequency_hz=physics), 0.26),
+    ]
+
+    print(f"{'setup':22s} {'link gain':>10s} {'TR (bps)':>9s} {'BER':>9s}")
+    for label, scenario, rate_scale in setups:
+        link = CovertLink(
+            machine=machine,
+            profile=profile,
+            scenario=scenario,
+            rate_scale=rate_scale,
+            seed=7,
+        )
+        ev = evaluate_link(link, bits_per_run=150, n_runs=2, label=label)
+        gain_db = 20 * np.log10(scenario.link_gain())
+        print(
+            f"{label:22s} {gain_db:9.1f}dB {ev.transmission_rate_bps:9.0f} "
+            f"{ev.ber:9.4f}"
+        )
+    print(
+        "\nlike the paper: slowing the symbol clock keeps BER low as the\n"
+        "antenna moves away - still above 800 bps from the next room."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Packetised exfiltration with CRC and sequence numbers (Section IV-C1).
+
+"Depending on the requirement, the data can be sent in packets or
+continuously."  Packets localise channel damage: a burst of interrupts
+corrupts one packet (detected by its CRC-8) instead of shifting every
+later bit, and sequence numbers reveal exactly what to retransmit.
+
+Run:
+    python examples/packetized_exfiltration.py
+"""
+
+import numpy as np
+
+from repro.core.coding import bits_to_bytes, bytes_to_bits
+from repro.core.decoder import BatchDecoder
+from repro.covert import CovertLink, PacketFormat, Packetizer
+from repro.params import TINY
+
+
+def main() -> None:
+    secret = b"the launch code is 0451"
+    payload = bytes_to_bits(secret)
+
+    packetizer = Packetizer(PacketFormat(payload_bits=48))
+    link = CovertLink(profile=TINY, seed=77)
+    stream = packetizer.frame_stream(payload, link.frame_format)
+    print(f"secret      : {secret!r} ({payload.size} bits)")
+    print(
+        f"packets     : {len(packetizer.packetize(payload))} "
+        f"x {packetizer.fmt.uncoded_bits} bits (+Hamming)"
+    )
+    print(f"on-air bits : {stream.size}")
+
+    # Transmit the raw packet stream through the full chain.
+    rng = np.random.default_rng(link.seed)
+    transmitter = link.transmitter(rng)
+    activity = link._mix_system_activity(transmitter.transmit(stream), rng)
+    capture = link.render_capture(activity, rng)
+    decoder = BatchDecoder(
+        link.vrm_frequency_hz,
+        expected_bit_period_s=transmitter.nominal_bit_duration_s(),
+        config=link.decoder_config,
+    )
+    decoded = decoder.decode(capture)
+
+    packets = packetizer.depacketize_stream(decoded.bits, link.frame_format)
+    good = sum(1 for p in packets if p.crc_ok)
+    print(f"received    : {len(packets)} packets, {good} with good CRC")
+    rebuilt, missing = packetizer.reassemble(packets, payload.size)
+    if missing:
+        print(f"missing     : packets {missing} (would be retransmitted)")
+    recovered = bits_to_bytes(rebuilt)
+    print(f"recovered   : {recovered!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: exfiltrate a secret over the simulated PMU-EM covert channel.
+
+The scenario is the paper's headline demonstration: a user-level
+"transmitter" process on an air-gapped laptop alternates compute and
+sleep per secret bit; a $25 RTL-SDR with a coin-sized coil probe 10 cm
+away picks up the voltage regulator's switching emission and decodes
+the bits.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core.coding import bits_to_bytes, bytes_to_bits, hamming_decode
+from repro.core.sync import strip_header
+from repro.covert import CovertLink
+from repro.params import TINY
+from repro.systems import DELL_INSPIRON
+
+
+def main() -> None:
+    secret = b"launch code: 0000"
+    payload = bytes_to_bits(secret)
+
+    # A covert link on the paper's Linux laptop, near-field coil probe,
+    # with Hamming(7,4) error correction on the payload.
+    link = CovertLink(
+        machine=DELL_INSPIRON,
+        profile=TINY,  # 100x time-dilated simulation, identical dynamics
+        use_ecc=True,
+        seed=7,
+    )
+
+    print(f"target      : {link.machine.name} ({link.machine.os_name})")
+    print(f"VRM line    : {link.machine.vrm_frequency_hz / 1e3:.0f} kHz")
+    print(f"payload     : {secret!r} ({payload.size} bits)")
+
+    result = link.run(payload)
+    metrics = result.metrics
+    print(f"on-air bits : {result.tx_bits.size}")
+    print(f"rate        : {result.transmission_rate_bps:.0f} bps (paper scale)")
+    print(
+        f"raw channel : BER={metrics.ber:.4f} "
+        f"IP={metrics.insertion_probability:.4f} "
+        f"DP={metrics.deletion_probability:.4f}"
+    )
+
+    # Receiver side: find the preamble, correct errors, rebuild bytes.
+    recovered = strip_header(result.decode.bits, link.frame_format)
+    if recovered is None:
+        raise SystemExit("receiver failed to synchronize")
+    data_bits, corrected = hamming_decode(recovered)
+    received = bits_to_bytes(data_bits[: payload.size])
+    print(f"ECC fixes   : {corrected}")
+    print(f"received    : {received!r}")
+    assert received == secret, "exfiltration failed"
+    print("secret exfiltrated successfully")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Website fingerprinting through the PMU emission (Section III).
+
+The victim browses on an otherwise idle laptop.  Each page load leaves
+a distinctive activity signature in the VRM emission - how long the
+processor computed, in how many bursts, with what gaps.  The attacker
+trains on a few labelled loads per site, then identifies later loads.
+
+Run:
+    python examples/website_fingerprinting.py
+"""
+
+import numpy as np
+
+from repro.fingerprint import FingerprintExperiment, default_catalog
+
+
+def main() -> None:
+    catalog = default_catalog()
+    exp = FingerprintExperiment(seed=7, catalog=catalog)
+    result = exp.run(loads_per_site=6, train_fraction=0.5)
+
+    print(f"sites        : {len(catalog)}")
+    print(f"training     : {result.n_train} loads, testing {result.n_test}")
+    print(f"accuracy     : {result.accuracy:.0%} (chance {1/len(catalog):.0%})")
+    print("\nconfusion matrix (rows = truth):")
+    width = max(len(label) for label in result.labels)
+    header = " " * (width + 1) + " ".join(
+        label[:6].rjust(6) for label in result.labels
+    )
+    print(header)
+    for label, row in zip(result.labels, result.confusion):
+        cells = " ".join(str(int(c)).rjust(6) for c in row)
+        print(f"{label.rjust(width)} {cells}")
+    print(
+        "\nthe load signatures (total compute, burst count, pacing) are\n"
+        "distinct enough that a nearest-centroid classifier identifies\n"
+        "pages from the EM emission alone."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro: reproduction of the HPCA 2020 PMU EM side-channel study.
+
+The paper ("A New Side-Channel Vulnerability on Modern Computers by
+Exploiting Electromagnetic Emanations from the Power Management Unit",
+Sehatbakhsh et al., HPCA 2020) shows that processor power-state
+switching amplitude-modulates the EM emission of the voltage regulator
+module, creating a covert channel (up to 3.7 kbps from an air-gapped
+laptop) and a keylogging side channel that work at a distance and
+through walls.
+
+This package reproduces the full system as an end-to-end simulation:
+
+* :mod:`repro.power`    - P/C-states, DVFS and idle governors, the PMU
+* :mod:`repro.osmodel`  - sleep timers, interrupts, scheduler contention
+* :mod:`repro.vrm`      - buck converter with phase shedding, emission
+* :mod:`repro.em`       - near-field propagation, antennas, noise
+* :mod:`repro.sdr`      - RTL-SDR receiver model
+* :mod:`repro.dsp`      - STFT, detection and filtering utilities
+* :mod:`repro.core`     - the paper's receiver pipeline (the contribution)
+* :mod:`repro.covert`   - covert-channel transmitter and link evaluation
+* :mod:`repro.keylog`   - typing model, keystroke detection, words
+* :mod:`repro.baselines` - Figure 9 comparator channels
+* :mod:`repro.systems`  - the Table I laptops
+* :mod:`repro.experiments` - regeneration of every table and figure
+
+Quickstart::
+
+    from repro.covert import CovertLink
+    from repro.core.coding import bytes_to_bits
+
+    link = CovertLink()                       # Dell Inspiron, 10 cm probe
+    result = link.run(bytes_to_bits(b"hi"))
+    print(result.metrics.ber, result.transmission_rate_bps)
+"""
+
+from . import params, types
+from .params import KEYLOG, PAPER, REDUCED, TINY, SimProfile, get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KEYLOG",
+    "PAPER",
+    "REDUCED",
+    "SimProfile",
+    "TINY",
+    "get_profile",
+    "params",
+    "types",
+]

@@ -1,0 +1,40 @@
+"""Prior-work covert channels modeled for the Figure 9 comparison."""
+
+from .acoustic import AcousticChannel
+from .airhopper import AirHopperChannel
+from .base import BaselineChannel, ook_monte_carlo
+from .dfs import DfsChannel
+from .gsmem import GSMemChannel
+from .powert import PowertChannel
+from .thermal import ThermalChannel
+from .usbee import USBeeChannel
+from .usbfunthenna import FuntennaChannel
+
+
+def all_baselines():
+    """All Figure 9 comparators, fastest mechanism first."""
+    return [
+        GSMemChannel(),
+        USBeeChannel(),
+        AirHopperChannel(),
+        PowertChannel(),
+        DfsChannel(),
+        FuntennaChannel(),
+        AcousticChannel(),
+        ThermalChannel(),
+    ]
+
+
+__all__ = [
+    "AcousticChannel",
+    "AirHopperChannel",
+    "BaselineChannel",
+    "DfsChannel",
+    "FuntennaChannel",
+    "GSMemChannel",
+    "PowertChannel",
+    "ThermalChannel",
+    "USBeeChannel",
+    "all_baselines",
+    "ook_monte_carlo",
+]

@@ -1,0 +1,47 @@
+"""Acoustic covert mesh (Hanspach & Goetz, 2013).
+
+Near-ultrasonic audio (~18-21 kHz) between laptop speakers and
+microphones.  The rate limiter is the room: reverberation smears
+symbols (tens of milliseconds of decay), and the usable band between
+"adults can hear it" and "consumer speakers roll off" is only a few
+kilohertz, shared with heavy environmental noise.  Reported covert
+mesh rates are ~20 bits/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import BaselineChannel
+
+
+@dataclass
+class AcousticChannel(BaselineChannel):
+    """Near-ultrasonic FSK limited by reverberation ISI."""
+
+    reverb_decay_s: float = 45e-3
+    tone_snr_per_sqrt_second: float = 40.0
+    ambient_burst_prob: float = 0.01
+
+    name: str = "Acoustic"
+    citation: str = "Hanspach & Goetz, 2013"
+    rate_bracket: tuple = (0.5, 2000.0)
+
+    def ber_at_rate(
+        self, rate_bps: float, rng: np.random.Generator, n_bits: int = 2000
+    ) -> float:
+        bit_period = 1.0 / rate_bps
+        bits = rng.integers(0, 2, size=n_bits)
+        snr = self.tone_snr_per_sqrt_second * np.sqrt(bit_period)
+        # Reverberation: the previous symbol's tone is still ringing,
+        # raising the wrong matched filter by a decayed copy.
+        leak = float(np.exp(-bit_period / self.reverb_decay_s)) * snr
+        prev_bits = np.concatenate([[0], bits[:-1]])
+        s0 = (1 - bits) * snr + (1 - prev_bits) * leak + rng.standard_normal(n_bits)
+        s1 = bits * snr + prev_bits * leak + rng.standard_normal(n_bits)
+        decided = (s1 > s0).astype(int)
+        burst = rng.random(n_bits) < self.ambient_burst_prob
+        decided[burst] = rng.integers(0, 2, size=int(burst.sum()))
+        return float(np.mean(decided != bits))

@@ -1,0 +1,56 @@
+"""DFS covert channel (Alagappan et al., VLSI-SoC 2017).
+
+Covert communication through the processor's dynamic frequency
+scaling: the sender modulates load so the governor raises or lowers the
+clock; the receiver reads the observable frequency.  The rate limiter
+is the governor's own response: frequency decisions happen on the
+governor's sampling period (milliseconds to tens of milliseconds) and
+transitions take additional time, so bits far faster than the governor
+simply never reach the frequency register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import BaselineChannel
+
+
+@dataclass
+class DfsChannel(BaselineChannel):
+    """Frequency-register signalling through the DVFS governor."""
+
+    governor_period_s: float = 10e-3
+    transition_s: float = 2e-3
+    read_noise_rel: float = 0.08
+    swing_rel: float = 0.5
+
+    name: str = "DFS"
+    citation: str = "Alagappan et al., VLSI-SoC 2017"
+    rate_bracket: tuple = (0.5, 2000.0)
+
+    def ber_at_rate(
+        self, rate_bps: float, rng: np.random.Generator, n_bits: int = 2000
+    ) -> float:
+        bit_period = 1.0 / rate_bps
+        bits = rng.integers(0, 2, size=n_bits)
+        # The governor only commits a frequency change at its sampling
+        # edges; a bit shorter than (period + transition) may end before
+        # the frequency ever moved.
+        latency = self.governor_period_s * rng.random(n_bits) + self.transition_s
+        reached = latency < bit_period
+        levels = np.where(reached, bits * self.swing_rel, np.nan)
+        # Unreached bits leave the previous frequency in place.
+        prev = 0.0
+        out = np.empty(n_bits)
+        for i in range(n_bits):
+            if np.isnan(levels[i]):
+                out[i] = prev
+            else:
+                out[i] = levels[i]
+                prev = levels[i]
+        readings = out + self.read_noise_rel * rng.standard_normal(n_bits)
+        decided = (readings > self.swing_rel / 2).astype(int)
+        return float(np.mean(decided != bits))

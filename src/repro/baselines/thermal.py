@@ -1,0 +1,54 @@
+"""Thermal covert channel (Masti et al., USENIX Security 2015).
+
+One core heats the package; another core (or an adjacent machine's
+sensor) reads the temperature.  The rate limiter is brutal: the
+package's thermal time constant is on the order of seconds, so the
+"channel filter" is a slow RC low-pass and symbols blur into each
+other (ISI) long before sensor noise matters.  Reported rates are a
+few bits per second at best (1-8 bps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import BaselineChannel
+
+
+@dataclass
+class ThermalChannel(BaselineChannel):
+    """First-order thermal RC channel with sensor quantisation."""
+
+    time_constant_s: float = 0.6
+    swing_c: float = 8.0
+    sensor_noise_c: float = 0.35
+    sensor_resolution_c: float = 1.0
+
+    name: str = "Thermal"
+    citation: str = "Masti et al., USENIX Security 2015"
+    rate_bracket: tuple = (0.05, 500.0)
+
+    def ber_at_rate(
+        self, rate_bps: float, rng: np.random.Generator, n_bits: int = 2000
+    ) -> float:
+        bit_period = 1.0 / rate_bps
+        bits = rng.integers(0, 2, size=n_bits)
+        # Exact first-order response sampled at each bit end: the
+        # temperature relaxes toward swing*bit with rate 1/tau.
+        alpha = float(np.exp(-bit_period / self.time_constant_s))
+        temp = np.empty(n_bits)
+        t = 0.0
+        targets = bits * self.swing_c
+        for i in range(n_bits):
+            t = targets[i] + (t - targets[i]) * alpha
+            temp[i] = t
+        readings = temp + self.sensor_noise_c * rng.standard_normal(n_bits)
+        if self.sensor_resolution_c > 0:
+            readings = (
+                np.round(readings / self.sensor_resolution_c)
+                * self.sensor_resolution_c
+            )
+        decided = (readings > self.swing_c / 2).astype(int)
+        return float(np.mean(decided != bits))

@@ -1,0 +1,48 @@
+"""USBee (Guri et al., 2016).
+
+Turns a plain USB device into an RF transmitter by crafting data
+patterns on the USB wires; a nearby SDR receives the emission.  The
+rate limiter is USB's own timing: bulk transfers are scheduled per
+1 ms USB frame, so the on-air keying granularity is the frame, and a
+reliable bit needs on the order of one to two frames.  USBee reported
+~80 bytes/s (640 bps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import BaselineChannel
+
+
+@dataclass
+class USBeeChannel(BaselineChannel):
+    """OOK over USB-frame-aligned emission bursts."""
+
+    frame_s: float = 1e-3
+    guard_s: float = 0.6e-3
+    snr_per_sqrt_second: float = 150.0
+    scheduling_jitter_prob: float = 0.006
+
+    name: str = "USBee"
+    citation: str = "Guri et al., 2016"
+
+    def ber_at_rate(
+        self, rate_bps: float, rng: np.random.Generator, n_bits: int = 2000
+    ) -> float:
+        bit_period = 1.0 / rate_bps
+        if bit_period < self.frame_s:
+            # Sub-frame bits cannot be scheduled at all.
+            return 0.5
+        usable = bit_period - self.guard_s
+        snr = self.snr_per_sqrt_second * np.sqrt(usable)
+        bits = rng.integers(0, 2, size=n_bits)
+        stat = bits * snr + rng.standard_normal(n_bits)
+        decided = (stat > snr / 2).astype(int)
+        # Host scheduling occasionally displaces a burst by a frame,
+        # corrupting the bit regardless of SNR.
+        displaced = rng.random(n_bits) < self.scheduling_jitter_prob
+        decided[displaced] = rng.integers(0, 2, size=int(displaced.sum()))
+        return float(np.mean(decided != bits))

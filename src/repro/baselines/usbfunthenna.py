@@ -1,0 +1,43 @@
+"""Funtenna-style GPIO/peripheral RF channel (Cui, Black Hat 2015).
+
+Software toggles a peripheral's GPIO/interface lines at RF-harmonic
+rates, turning the traces into a crude transmitter.  The rate limiter
+is the toggling interface itself: GPIO writes go through slow
+peripheral buses, so the achievable keying rate is low and the emitted
+power is tiny, forcing long integration per bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import BaselineChannel
+
+
+@dataclass
+class FuntennaChannel(BaselineChannel):
+    """GPIO-toggling RF channel with slow peripheral-bus access."""
+
+    gpio_write_s: float = 2e-3
+    writes_per_bit: int = 4
+    snr_per_sqrt_second: float = 28.0
+
+    name: str = "Funtenna"
+    citation: str = "Cui, Black Hat 2015"
+    rate_bracket: tuple = (0.5, 2000.0)
+
+    def ber_at_rate(
+        self, rate_bps: float, rng: np.random.Generator, n_bits: int = 2000
+    ) -> float:
+        bit_period = 1.0 / rate_bps
+        setup = self.gpio_write_s * self.writes_per_bit
+        usable = bit_period - setup
+        if usable <= 0:
+            return 0.5
+        snr = self.snr_per_sqrt_second * np.sqrt(usable)
+        bits = rng.integers(0, 2, size=n_bits)
+        stat = bits * snr + rng.standard_normal(n_bits)
+        decided = (stat > snr / 2).astype(int)
+        return float(np.mean(decided != bits))

@@ -1,0 +1,116 @@
+"""The shared analog signal chain: activity trace -> SDR capture.
+
+Both applications (covert channel, keylogging) drive the same physics:
+
+    activity -> PMU (power states) -> VRM (bursts) -> emission
+             -> propagation/noise -> antenna -> SDR -> IQ capture
+
+This module is the single implementation of that chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .em.environment import Scenario
+from .params import SimProfile
+from .power.pmu import PMU
+from .sdr.rtlsdr import RtlSdrV3
+from .systems.laptops import Machine
+from .types import ActivityTrace, IQCapture, PowerStateTrace
+from .vrm.buck import BuckConverter
+from .vrm.emission import EmissionModel
+from .vrm.vid import VidInterface
+
+
+def tuned_frequency_hz(machine: Machine, profile: SimProfile) -> float:
+    """SDR tuning for a machine: midway between f0 and its first harmonic
+    (profile-scaled), so both Eq. 1 components are in band."""
+    return 1.5 * machine.vrm_frequency_hz / profile.total_freq_divisor
+
+
+def paper_tuned_frequency_hz(machine: Machine) -> float:
+    """Paper-scale tuning frequency (for profile-invariant link physics)."""
+    return 1.5 * machine.vrm_frequency_hz
+
+
+def run_power_chain(
+    machine: Machine,
+    activity: ActivityTrace,
+    profile: SimProfile,
+    rng: np.random.Generator,
+    *,
+    allow_c_states: bool = True,
+    allow_p_states: bool = True,
+) -> PowerStateTrace:
+    """Digital half: activity -> power-state residencies."""
+    table = machine.power_table(allow_c=allow_c_states, allow_p=allow_p_states)
+    pmu = PMU(table, governor=machine.governor(table, profile), rng=rng)
+    return pmu.run(activity)
+
+
+def render_emission(
+    machine: Machine,
+    activity: ActivityTrace,
+    profile: SimProfile,
+    rng: np.random.Generator,
+    *,
+    allow_c_states: bool = True,
+    allow_p_states: bool = True,
+    vrm_dithering=None,
+) -> np.ndarray:
+    """Activity -> emitted RF waveform (before propagation).
+
+    ``vrm_dithering`` optionally applies the Section VI spread-spectrum
+    countermeasure (:class:`repro.countermeasures.VrmDithering`) to the
+    burst train before synthesis.
+    """
+    table = machine.power_table(allow_c=allow_c_states, allow_p=allow_p_states)
+    power_trace = run_power_chain(
+        machine,
+        activity,
+        profile,
+        rng,
+        allow_c_states=allow_c_states,
+        allow_p_states=allow_p_states,
+    )
+    load = power_trace.current_draw(table.current_a)
+    requested_v = power_trace.voltage(table.voltage_v)
+    realized_v = VidInterface().apply(requested_v)
+    buck = BuckConverter(machine.buck_design(profile), rng=rng)
+    bursts = buck.simulate(load, realized_v)
+    if vrm_dithering is not None:
+        bursts = vrm_dithering.apply(bursts, rng, time_scale=profile.time_scale)
+    emitter = EmissionModel(field_gain=machine.emission_strength)
+    return emitter.synthesize(bursts, profile.rf_sample_rate_hz)
+
+
+def render_capture(
+    machine: Machine,
+    activity: ActivityTrace,
+    scenario: Scenario,
+    profile: SimProfile,
+    rng: np.random.Generator,
+    *,
+    allow_c_states: bool = True,
+    allow_p_states: bool = True,
+    vrm_dithering=None,
+) -> IQCapture:
+    """Full chain: activity -> complex baseband IQ capture."""
+    wave = render_emission(
+        machine,
+        activity,
+        profile,
+        rng,
+        allow_c_states=allow_c_states,
+        allow_p_states=allow_p_states,
+        vrm_dithering=vrm_dithering,
+    )
+    antenna_v = scenario.apply(wave, profile.rf_sample_rate_hz, rng)
+    sdr = RtlSdrV3(sample_rate=profile.sdr_sample_rate_hz)
+    return sdr.capture(
+        antenna_v,
+        profile.rf_sample_rate_hz,
+        tuned_frequency_hz(machine, profile),
+        rng,
+    )

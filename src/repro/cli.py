@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands
+-----------
+``list``
+    Show the available experiments (one per paper table/figure).
+``run <id> [<id> ...]``
+    Regenerate specific tables/figures; ``run all`` runs everything.
+``send <text>``
+    Demo: transmit a string over the simulated covert channel and
+    print what the receiver recovered.
+``keylog <text>``
+    Demo: type a string and print the detected keystroke timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .params import get_profile
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of the HPCA 2020 PMU electromagnetic "
+            "side-channel study (simulated end to end)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="regenerate paper tables/figures")
+    run_p.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+    run_p.add_argument(
+        "--profile",
+        default=None,
+        help="simulation profile (paper, reduced, tiny, keylog); "
+        "default: per-experiment choice",
+    )
+    run_p.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-weight statistics (slower); default is quick mode",
+    )
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--output",
+        default=None,
+        help="also write the results as a Markdown report to this path",
+    )
+
+    send_p = sub.add_parser("send", help="covert-channel demo")
+    send_p.add_argument("text", help="ASCII text to exfiltrate")
+    send_p.add_argument("--machine", default="Inspiron")
+    send_p.add_argument("--profile", default="tiny")
+    send_p.add_argument("--seed", type=int, default=0)
+
+    key_p = sub.add_parser("keylog", help="keylogging demo")
+    key_p.add_argument("text", help="text the victim types")
+    key_p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> int:
+    from .experiments import list_experiments
+
+    for eid in list_experiments():
+        print(eid)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .experiments.runner import run_experiments
+
+    ids = None if args.ids == ["all"] else args.ids
+    profile = get_profile(args.profile) if args.profile else None
+    results = run_experiments(
+        ids, profile=profile, quick=not args.full, seed=args.seed
+    )
+    if args.output:
+        from .reporting import write_report
+
+        write_report(
+            results,
+            args.output,
+            preamble=(
+                f"Profile: {args.profile or 'per-experiment default'}; "
+                f"quick={not args.full}; seed={args.seed}."
+            ),
+        )
+        print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_send(args) -> int:
+    from .core.coding import bits_to_bytes, bytes_to_bits, hamming_decode
+    from .core.sync import strip_header
+    from .covert.link import CovertLink
+    from .systems.laptops import by_name
+
+    link = CovertLink(
+        machine=by_name(args.machine),
+        profile=get_profile(args.profile),
+        seed=args.seed,
+        use_ecc=True,
+    )
+    payload = bytes_to_bits(args.text.encode("ascii"))
+    print(f"transmitting {payload.size} bits on {link.machine.name} ...")
+    result = link.run(payload)
+    m = result.metrics
+    print(
+        f"raw channel: BER={m.ber:.4f} IP={m.insertion_probability:.4f} "
+        f"DP={m.deletion_probability:.4f} "
+        f"TR={result.transmission_rate_bps:.0f} bps (paper scale)"
+    )
+    recovered = strip_header(result.decode.bits, link.frame_format)
+    if recovered is None:
+        print("receiver failed to synchronize")
+        return 1
+    data, corrected = hamming_decode(recovered)
+    text = bits_to_bytes(data[: payload.size]).decode("ascii", errors="replace")
+    print(f"ECC corrected {corrected} bit(s)")
+    print(f"received: {text!r}")
+    return 0
+
+
+def _cmd_keylog(args) -> int:
+    from .keylog.evaluate import KeylogExperiment
+
+    exp = KeylogExperiment(seed=args.seed)
+    result = exp.run(text=args.text)
+    print(
+        f"typed {result.n_keystrokes} keystrokes; detected "
+        f"{result.n_detected} "
+        f"(TPR={result.true_positive_rate:.2f}, "
+        f"FPR={result.false_positive_rate:.2f})"
+    )
+    for ev in result.detection.events:
+        print(f"  keystroke at {ev.start:7.3f}s  ({ev.duration * 1e3:5.1f} ms)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "send":
+        return _cmd_send(args)
+    if args.command == "keylog":
+        return _cmd_keylog(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

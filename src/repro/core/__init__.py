@@ -1,0 +1,63 @@
+"""The paper's contribution: the PMU side-channel receiver pipeline."""
+
+from .acquisition import AcquisitionConfig, Envelope, acquire, harmonic_bins
+from .align import ChannelMetrics, align_bits
+from .coding import (
+    ParityCode,
+    as_bit_array,
+    bits_to_bytes,
+    bytes_to_bits,
+    hamming_decode,
+    hamming_encode,
+)
+from .decoder import BatchDecoder, DecodeResult, DecoderConfig
+from .edges import EdgeConfig, coarse_symbol_frames, detect_bit_starts, edge_response
+from .labeling import LabelingResult, bit_average_powers, label_bits, label_envelope_bits
+from .pipeline import ReceiveResult, receive
+from .sync import DEFAULT_PREAMBLE, FrameFormat, locate_preamble, strip_header
+from .timing import (
+    PulseWidthStats,
+    analyze_pulse_widths,
+    drop_spurious_starts,
+    fill_missing_starts,
+    pulse_widths,
+    signaling_time,
+)
+
+__all__ = [
+    "AcquisitionConfig",
+    "BatchDecoder",
+    "ChannelMetrics",
+    "DEFAULT_PREAMBLE",
+    "DecodeResult",
+    "DecoderConfig",
+    "EdgeConfig",
+    "Envelope",
+    "FrameFormat",
+    "LabelingResult",
+    "ParityCode",
+    "PulseWidthStats",
+    "ReceiveResult",
+    "acquire",
+    "align_bits",
+    "analyze_pulse_widths",
+    "as_bit_array",
+    "bit_average_powers",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "coarse_symbol_frames",
+    "detect_bit_starts",
+    "drop_spurious_starts",
+    "edge_response",
+    "fill_missing_starts",
+    "hamming_decode",
+    "hamming_encode",
+    "harmonic_bins",
+    "label_bits",
+    "label_envelope_bits",
+    "locate_preamble",
+    "pulse_widths",
+    "receive",
+    "signaling_time",
+    "strip_header",
+]

@@ -1,0 +1,128 @@
+"""Channel coding for the covert channel.
+
+The paper keeps the transmitter trivially simple (it must be typed into
+an air-gapped machine by hand), so it uses "a very simple (parity) code"
+whose codewords keep a minimum Hamming distance of three - i.e. a
+single-error-correcting code.  We implement the canonical such code,
+Hamming(7,4), plus helpers for the raw bit plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+#: Generator matrix for systematic Hamming(7,4): codeword = [d1..d4 p1..p3].
+_G = np.array(
+    [
+        [1, 0, 0, 0, 1, 1, 0],
+        [0, 1, 0, 0, 1, 0, 1],
+        [0, 0, 1, 0, 0, 1, 1],
+        [0, 0, 0, 1, 1, 1, 1],
+    ],
+    dtype=int,
+)
+
+#: Parity-check matrix consistent with ``_G``.
+_H = np.array(
+    [
+        [1, 1, 0, 1, 1, 0, 0],
+        [1, 0, 1, 1, 0, 1, 0],
+        [0, 1, 1, 1, 0, 0, 1],
+    ],
+    dtype=int,
+)
+
+
+def as_bit_array(bits: Iterable[int]) -> np.ndarray:
+    """Normalise any 0/1 iterable to an int array, validating values."""
+    arr = np.asarray(list(bits) if not isinstance(bits, np.ndarray) else bits)
+    arr = arr.astype(int)
+    if arr.size and not np.all((arr == 0) | (arr == 1)):
+        raise ValueError("bits must be 0 or 1")
+    return arr
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """MSB-first bit expansion of a byte string."""
+    if not data:
+        return np.empty(0, dtype=int)
+    return np.unpackbits(np.frombuffer(data, dtype=np.uint8)).astype(int)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Inverse of :func:`bytes_to_bits`; pads the tail with zeros."""
+    bits = as_bit_array(bits)
+    pad = (-bits.size) % 8
+    if pad:
+        bits = np.concatenate([bits, np.zeros(pad, dtype=int)])
+    return np.packbits(bits.astype(np.uint8)).tobytes()
+
+
+def hamming_encode(data_bits: Iterable[int]) -> np.ndarray:
+    """Encode data bits with Hamming(7,4); zero-pads to a multiple of 4."""
+    bits = as_bit_array(data_bits)
+    pad = (-bits.size) % 4
+    if pad:
+        bits = np.concatenate([bits, np.zeros(pad, dtype=int)])
+    blocks = bits.reshape(-1, 4)
+    codewords = blocks @ _G % 2
+    return codewords.reshape(-1)
+
+
+def hamming_decode(code_bits: Iterable[int]) -> Tuple[np.ndarray, int]:
+    """Decode Hamming(7,4), correcting up to one error per codeword.
+
+    Returns ``(data_bits, corrected_count)``.  A trailing partial
+    codeword (from insertions/deletions upstream) is dropped.
+    """
+    bits = as_bit_array(code_bits)
+    usable = (bits.size // 7) * 7
+    blocks = bits[:usable].reshape(-1, 7).copy()
+    corrected = 0
+    syndromes = blocks @ _H.T % 2
+    # Map each non-zero syndrome to the column of H it matches.
+    for i in range(blocks.shape[0]):
+        s = syndromes[i]
+        if not s.any():
+            continue
+        matches = np.nonzero((_H.T == s).all(axis=1))[0]
+        if matches.size:
+            blocks[i, matches[0]] ^= 1
+            corrected += 1
+    return blocks[:, :4].reshape(-1), corrected
+
+
+@dataclass(frozen=True)
+class ParityCode:
+    """Even-parity blocks: ``block_size`` data bits + 1 parity bit.
+
+    Detects (but does not correct) single errors; used by the ablation
+    bench as the weaker alternative to Hamming(7,4).
+    """
+
+    block_size: int = 7
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ValueError("block size must be >= 1")
+
+    def encode(self, data_bits: Iterable[int]) -> np.ndarray:
+        bits = as_bit_array(data_bits)
+        pad = (-bits.size) % self.block_size
+        if pad:
+            bits = np.concatenate([bits, np.zeros(pad, dtype=int)])
+        blocks = bits.reshape(-1, self.block_size)
+        parity = blocks.sum(axis=1) % 2
+        return np.hstack([blocks, parity[:, None]]).reshape(-1)
+
+    def decode(self, code_bits: Iterable[int]) -> Tuple[np.ndarray, int]:
+        """Returns ``(data_bits, parity_error_count)``."""
+        bits = as_bit_array(code_bits)
+        step = self.block_size + 1
+        usable = (bits.size // step) * step
+        blocks = bits[:usable].reshape(-1, step)
+        errors = int(np.count_nonzero(blocks.sum(axis=1) % 2))
+        return blocks[:, : self.block_size].reshape(-1), errors

@@ -1,0 +1,126 @@
+"""Bit-start detection (paper Section IV-B2, Figure 5).
+
+Every transmitted bit - even a zero - begins with a sharp envelope rise,
+because the transmitter must execute code (finish the previous usleep,
+read the next data bit) before idling again.  The receiver exploits
+this: it convolves the envelope with a +1/-1 step kernel that mimics a
+derivative, then takes local maxima of the convolution as bit starting
+points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dsp.detection import local_maxima
+from ..dsp.filters import edge_kernel
+from .acquisition import Envelope
+
+
+@dataclass(frozen=True)
+class EdgeConfig:
+    """Edge-detector parameters.
+
+    Attributes
+    ----------
+    kernel_fraction:
+        Kernel length ``l_d`` as a fraction of the expected symbol
+        period (in envelope frames).  The paper notes ``l_d`` depends on
+        the sampling rate; tying it to the symbol period makes it
+        self-scaling.
+    min_separation_fraction:
+        Minimum spacing between accepted edges, as a fraction of the
+        expected symbol period; suppresses double-detections on one
+        rise.
+    min_prominence_rel:
+        Required peak prominence relative to the convolution's overall
+        dynamic range; rejects noise wiggles.
+    """
+
+    kernel_fraction: float = 0.5
+    min_separation_fraction: float = 0.6
+    min_prominence_rel: float = 0.12
+
+    def __post_init__(self) -> None:
+        if self.kernel_fraction <= 0:
+            raise ValueError("kernel fraction must be positive")
+        if not 0 < self.min_separation_fraction <= 1:
+            raise ValueError("min separation fraction must be in (0, 1]")
+
+
+def edge_response(envelope: Envelope, kernel_length: int) -> np.ndarray:
+    """The derivative-mimicking convolution (the dotted line in Fig. 5).
+
+    Positive peaks mark rising edges.  Output is aligned with the
+    envelope (same length).
+    """
+    kernel = edge_kernel(max(kernel_length, 2))
+    response = np.convolve(envelope.samples, kernel, mode="same")
+    return response
+
+
+def detect_bit_starts(
+    envelope: Envelope,
+    expected_symbol_frames: float,
+    config: EdgeConfig = EdgeConfig(),
+) -> np.ndarray:
+    """Find candidate bit starting points (frame indices).
+
+    Parameters
+    ----------
+    envelope:
+        The Eq. 1 envelope.
+    expected_symbol_frames:
+        Rough symbol period in envelope frames; sets the kernel length
+        and minimum edge spacing.  The decoder bootstraps this from the
+        known transmitter configuration or a coarse autocorrelation.
+    """
+    if expected_symbol_frames <= 0:
+        raise ValueError("expected symbol period must be positive")
+    kernel_length = max(int(expected_symbol_frames * config.kernel_fraction), 2)
+    response = edge_response(envelope, kernel_length)
+    span = float(response.max() - response.min())
+    if span <= 0:
+        return np.empty(0, dtype=int)
+    min_sep = max(int(expected_symbol_frames * config.min_separation_fraction), 1)
+    peaks = local_maxima(
+        response,
+        min_distance=min_sep,
+        min_prominence=config.min_prominence_rel * span,
+    )
+    # Keep only rising edges (positive response).
+    peaks = peaks[response[peaks] > 0]
+    # The convolution peaks at the centre of the kernel's +/- transition;
+    # shift back by half a kernel so starts align with the envelope rise.
+    starts = peaks - kernel_length // 2
+    return starts[starts >= 0]
+
+
+def coarse_symbol_frames(envelope: Envelope, max_lag_frames: int) -> float:
+    """Bootstrap the symbol period from the envelope's autocorrelation.
+
+    Used when the receiver knows nothing about the transmitter: the
+    synchronisation preamble of alternating ones/zeros produces a strong
+    periodic component at the symbol rate.
+    """
+    y = envelope.samples - envelope.samples.mean()
+    if y.size < 4:
+        raise ValueError("envelope too short for period estimation")
+    n = min(max_lag_frames, y.size - 1)
+    ac = np.correlate(y, y, mode="full")[y.size - 1 :][: n + 1]
+    if ac[0] <= 0:
+        return float(n)
+    ac = ac / ac[0]
+    # Candidate peaks past lag zero.  An alternating 1/0 training
+    # sequence makes the *two-bit* lag the global maximum, so take the
+    # smallest-lag peak that is still a substantial fraction of the
+    # best peak rather than the argmax.
+    peaks = local_maxima(ac, min_distance=2)
+    peaks = peaks[peaks > 1]
+    if peaks.size == 0:
+        return float(n)
+    best = float(ac[peaks].max())
+    significant = peaks[ac[peaks] >= 0.35 * best]
+    return float(significant[0])

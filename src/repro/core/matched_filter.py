@@ -1,0 +1,57 @@
+"""The conventional matched-filter receiver the paper tried first.
+
+Section IV-B2: "It is a common practice for the conventional
+communication systems to use a matched filter and sample the filtered
+signal at each symbol (bit), but that approach assumes that the symbols
+have practically no variation in their duration...  when applying the
+matched filter approach to our received signal, the BER was high".
+
+This module implements that conventional receiver so the ablation bench
+can reproduce the comparison: a fixed symbol clock derived from the
+nominal rate, a rectangular matched filter of one symbol length, and
+mid-symbol sampling.  Against the covert channel's asynchronous timing
+it accumulates clock drift and loses lock - which is exactly why the
+paper built the batch receiver instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dsp.detection import bimodal_threshold
+from .acquisition import Envelope
+
+
+def matched_filter_decode(
+    envelope: Envelope,
+    symbol_period_frames: float,
+    start_frame: float = 0.0,
+) -> np.ndarray:
+    """Decode with a fixed symbol clock (the paper's strawman).
+
+    Parameters
+    ----------
+    envelope:
+        The Eq. 1 envelope.
+    symbol_period_frames:
+        The receiver's belief about the symbol period, held *constant*
+        for the whole stream (this is the method's flaw).
+    start_frame:
+        Phase of the first symbol.
+    """
+    if symbol_period_frames <= 0:
+        raise ValueError("symbol period must be positive")
+    y = envelope.samples.astype(float)
+    # Rectangular matched filter: integrate one symbol period.
+    kernel_len = max(int(round(symbol_period_frames)), 1)
+    kernel = np.ones(kernel_len) / kernel_len
+    filtered = np.convolve(y**2, kernel, mode="same")
+    # Sample at the (fixed) mid-symbol instants.
+    centers = np.arange(
+        start_frame + symbol_period_frames / 2, y.size, symbol_period_frames
+    )
+    samples = filtered[np.round(centers).astype(int).clip(0, y.size - 1)]
+    if samples.size == 0:
+        return np.empty(0, dtype=int)
+    threshold = bimodal_threshold(samples)
+    return (samples > threshold).astype(int)

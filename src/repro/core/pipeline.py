@@ -1,0 +1,71 @@
+"""Top-level receive API: capture in, payload out.
+
+Ties together decoding, frame synchronisation and error correction so
+applications (and the examples) need a single call:
+
+    payload, result = receive(capture, vrm_frequency_hz=970e3,
+                              expected_bit_period_s=270e-6)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..types import IQCapture
+from .coding import hamming_decode
+from .decoder import BatchDecoder, DecodeResult, DecoderConfig
+from .sync import FrameFormat, strip_header
+
+
+@dataclass
+class ReceiveResult:
+    """Everything recovered from one capture."""
+
+    payload_bits: Optional[np.ndarray]
+    corrected_errors: int
+    raw: DecodeResult
+    synchronized: bool
+
+    @property
+    def payload_bytes(self) -> Optional[bytes]:
+        from .coding import bits_to_bytes
+
+        if self.payload_bits is None:
+            return None
+        return bits_to_bytes(self.payload_bits)
+
+
+def receive(
+    capture: IQCapture,
+    vrm_frequency_hz: float,
+    expected_bit_period_s: Optional[float] = None,
+    frame_format: FrameFormat = FrameFormat(),
+    decoder_config: DecoderConfig = DecoderConfig(),
+    use_ecc: bool = True,
+) -> ReceiveResult:
+    """Decode a covert transmission end to end.
+
+    Parameters mirror :class:`~repro.core.decoder.BatchDecoder`;
+    ``use_ecc`` applies Hamming(7,4) correction to the payload (the
+    transmitter must have encoded with
+    :func:`~repro.core.coding.hamming_encode`).
+    """
+    decoder = BatchDecoder(vrm_frequency_hz, expected_bit_period_s, decoder_config)
+    raw = decoder.decode(capture)
+    payload = strip_header(raw.bits, frame_format)
+    if payload is None:
+        return ReceiveResult(
+            payload_bits=None, corrected_errors=0, raw=raw, synchronized=False
+        )
+    corrected = 0
+    if use_ecc:
+        payload, corrected = hamming_decode(payload)
+    return ReceiveResult(
+        payload_bits=payload,
+        corrected_errors=corrected,
+        raw=raw,
+        synchronized=True,
+    )

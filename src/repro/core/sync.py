@@ -1,0 +1,112 @@
+"""Transmission framing and synchronisation (paper Section IV-C1).
+
+The transmitter prepends:
+
+1. an interleaved 1/0 training sequence (gives the receiver a clean
+   symbol-rate reference and a bimodal power sample for thresholding),
+2. a short run of known zeros, then
+3. a preamble marking the start of data.
+
+The receiver locates the preamble in the decoded bit stream by sliding
+Hamming distance, tolerating a few bit errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .coding import as_bit_array
+
+#: Default preamble: a 13-bit Barker-like pattern with good autocorrelation.
+DEFAULT_PREAMBLE = np.array([1, 1, 1, 1, 1, 0, 0, 1, 1, 0, 1, 0, 1], dtype=int)
+
+
+@dataclass(frozen=True)
+class FrameFormat:
+    """Layout of one covert transmission.
+
+    Attributes
+    ----------
+    training_bits:
+        Number of alternating 1/0 bits at the start.
+    zero_run:
+        Number of known zeros after the training sequence.
+    preamble:
+        Start-of-data marker pattern.
+    """
+
+    training_bits: int = 32
+    zero_run: int = 8
+    preamble: np.ndarray = None  # set in __post_init__
+
+    def __post_init__(self) -> None:
+        if self.training_bits < 2:
+            raise ValueError("training sequence needs at least 2 bits")
+        if self.zero_run < 0:
+            raise ValueError("zero run cannot be negative")
+        if self.preamble is None:
+            object.__setattr__(self, "preamble", DEFAULT_PREAMBLE.copy())
+
+    @property
+    def header(self) -> np.ndarray:
+        """All bits before the payload."""
+        training = np.tile([1, 0], self.training_bits // 2 + 1)[: self.training_bits]
+        return np.concatenate(
+            [training, np.zeros(self.zero_run, dtype=int), self.preamble]
+        )
+
+    def frame(self, payload_bits: np.ndarray) -> np.ndarray:
+        """Assemble a full transmission: header + payload."""
+        return np.concatenate([self.header, as_bit_array(payload_bits)])
+
+
+def locate_preamble(
+    bits: np.ndarray,
+    preamble: np.ndarray,
+    max_errors: int = 2,
+    search_from: int = 0,
+) -> Optional[int]:
+    """Index just *after* the best preamble match, or None.
+
+    Slides the preamble over ``bits`` starting at ``search_from`` and
+    returns the end of the lowest-Hamming-distance alignment, provided
+    that distance is within ``max_errors``.
+    """
+    bits = as_bit_array(bits)
+    preamble = as_bit_array(preamble)
+    n, p = bits.size, preamble.size
+    if n < p:
+        return None
+    best_pos, best_err = None, max_errors + 1
+    for i in range(search_from, n - p + 1):
+        err = int(np.count_nonzero(bits[i : i + p] != preamble))
+        if err < best_err:
+            best_err = err
+            best_pos = i
+            if err == 0:
+                break
+    if best_pos is None:
+        return None
+    return best_pos + p
+
+
+def strip_header(
+    bits: np.ndarray, fmt: FrameFormat, max_errors: int = 2
+) -> Optional[np.ndarray]:
+    """Extract the payload from a decoded stream, or None if no preamble.
+
+    The preamble search starts shortly before the nominal header length
+    to stay robust to a few inserted/deleted header bits.
+    """
+    nominal = fmt.header.size - fmt.preamble.size
+    search_from = max(nominal - 6, 0)
+    pos = locate_preamble(bits, fmt.preamble, max_errors, search_from)
+    if pos is None:
+        # Fall back to a full search (heavy insertions before preamble).
+        pos = locate_preamble(bits, fmt.preamble, max_errors, 0)
+    if pos is None:
+        return None
+    return as_bit_array(bits)[pos:]

@@ -1,0 +1,113 @@
+"""Countermeasures from the paper's Section VI, modeled and measurable.
+
+The paper proposes several mitigations; three are implementable inside
+this simulation and evaluated by the ``countermeasures`` experiment:
+
+* **Disabling P/C-states** during sensitive computation - already a
+  first-class knob (``CovertLink(allow_c_states=False,
+  allow_p_states=False)``); Section III shows it kills the modulation
+  at a significant energy cost.
+* **Randomising the VRM** (circuit-level): dithering the switching
+  clock spreads the spectral lines the receiver integrates, lowering
+  the per-bin SNR.  Modeled as frequency modulation of the burst train
+  by a bounded random walk.
+* **EMI shielding**: a broadband attenuation of the emitted field,
+  which reduces SNR "with its own limitations/overheads".
+
+Each countermeasure degrades the attacker gracefully rather than
+absolutely - matching the paper's framing of them as mitigations, not
+fixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .em.environment import Scenario
+from .types import BurstTrain
+
+
+@dataclass(frozen=True)
+class VrmDithering:
+    """Spread-spectrum dithering of the VRM switching clock.
+
+    ``spread_rel`` bounds the instantaneous frequency deviation (e.g.
+    0.03 = +/-3 %); ``coherence_s`` is the timescale over which the
+    dithered clock wanders, chosen far below the receiver's STFT frame
+    so the line is smeared *within* each analysis window.
+    """
+
+    spread_rel: float = 0.03
+    coherence_s: float = 200e-6
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.spread_rel < 0.5:
+            raise ValueError("spread must be in (0, 0.5)")
+        if self.coherence_s <= 0:
+            raise ValueError("coherence must be positive")
+
+    def apply(
+        self,
+        bursts: BurstTrain,
+        rng: np.random.Generator,
+        time_scale: float = 1.0,
+    ) -> BurstTrain:
+        """Frequency-modulate the burst train.
+
+        Burst times are warped by ``t' = t + integral(dev(t)) `` where
+        ``dev`` is a bounded random modulation of the clock rate.  This
+        shifts every spectral line by the same *relative* amount, i.e.
+        true clock dithering.
+        """
+        if bursts.count == 0:
+            return bursts
+        coherence = self.coherence_s * time_scale
+        # Piecewise-constant rate deviation over coherence blocks.
+        n_blocks = max(int(np.ceil(bursts.duration / coherence)), 1)
+        deviations = rng.uniform(-self.spread_rel, self.spread_rel, n_blocks)
+        block_edges = np.arange(n_blocks + 1) * coherence
+        # Cumulative warp at block edges.
+        warp_at_edges = np.concatenate(
+            [[0.0], np.cumsum(deviations * coherence)]
+        )
+        idx = np.clip(
+            (bursts.times / coherence).astype(int), 0, n_blocks - 1
+        )
+        warped = (
+            bursts.times
+            + warp_at_edges[idx]
+            + deviations[idx] * (bursts.times - block_edges[idx])
+        )
+        order = np.argsort(warped, kind="stable")
+        return BurstTrain(
+            times=np.clip(warped[order], 0.0, None),
+            charges=bursts.charges[order],
+            voltages=bursts.voltages[order],
+            duration=bursts.duration * (1 + self.spread_rel),
+            switching_period=bursts.switching_period,
+        )
+
+
+def shielded_scenario(scenario: Scenario, shielding_db: float) -> Scenario:
+    """Wrap a scenario with EMI shielding of the given insertion loss.
+
+    Implemented as extra path loss: a shield attenuates the emitted
+    field before it ever reaches the environment, so the same linear
+    factor applies at any distance.
+    """
+    if shielding_db < 0:
+        raise ValueError("shielding loss cannot be negative")
+    factor = 10.0 ** (-shielding_db / 20.0)
+    shielded = replace(
+        scenario,
+        name=f"{scenario.name}+shield{shielding_db:g}dB",
+        antenna=replace(
+            scenario.antenna,
+            orientation_efficiency=min(
+                scenario.antenna.orientation_efficiency * factor, 1.0
+            ),
+        ),
+    )
+    return shielded

@@ -1,0 +1,24 @@
+"""Covert-channel application layer: transmitter, link, evaluation."""
+
+from .adaptive import RateProbe, RateSearchResult, find_max_rate
+from .evaluate import ChannelEvaluation, evaluate_link
+from .link import CovertLink, LinkResult
+from .packets import Packet, PacketFormat, Packetizer, crc8
+from .transmitter import Transmitter, TransmitterConfig, frame_payload
+
+__all__ = [
+    "ChannelEvaluation",
+    "CovertLink",
+    "LinkResult",
+    "Packet",
+    "PacketFormat",
+    "Packetizer",
+    "RateProbe",
+    "RateSearchResult",
+    "Transmitter",
+    "TransmitterConfig",
+    "crc8",
+    "evaluate_link",
+    "find_max_rate",
+    "frame_payload",
+]

@@ -1,0 +1,190 @@
+"""End-to-end covert-channel link simulation.
+
+Connects every substrate in the signal-chain order of DESIGN.md:
+transmitter process -> scheduler/interrupt mixing -> PMU -> VRM ->
+emission -> propagation/noise -> SDR -> batch receiver.  This is the
+machinery behind Tables II and III and most figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..chain import render_capture as render_chain_capture
+from ..core.align import ChannelMetrics, align_bits
+from ..core.decoder import BatchDecoder, DecodeResult, DecoderConfig
+from ..core.sync import FrameFormat
+from ..em.environment import Scenario, near_field_scenario
+from ..osmodel import interrupts as irq
+from ..osmodel.scheduler import Scheduler
+from ..params import SimProfile, TINY
+from ..systems.laptops import DELL_INSPIRON, Machine
+from ..types import ActivityTrace, IQCapture
+from .transmitter import Transmitter, TransmitterConfig, frame_payload
+
+
+@dataclass
+class LinkResult:
+    """Everything produced by one link run."""
+
+    tx_bits: np.ndarray
+    decode: DecodeResult
+    metrics: ChannelMetrics
+    capture: IQCapture
+    activity: ActivityTrace
+    duration_s: float
+    profile: SimProfile
+
+    @property
+    def transmission_rate_bps(self) -> float:
+        """Paper-scale transmission rate (transmitted bits per second)."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.profile.paper_rate(self.tx_bits.size / self.duration_s)
+
+
+@dataclass
+class CovertLink:
+    """A configured transmitter-to-receiver chain.
+
+    Parameters
+    ----------
+    machine:
+        The target laptop (Table I row).
+    scenario:
+        Measurement setup (distance, antenna, wall, noise).  Defaults to
+        the paper's 10 cm near-field coil probe.
+    profile:
+        Simulation scaling profile.
+    allow_c_states / allow_p_states:
+        BIOS knobs for the Section III experiments.
+    background:
+        Optional competing activity trace generator flag - when True, a
+        resource-intensive background process runs during transmission
+        (Section IV-C2).
+    seed:
+        Seed for all stochastic components.
+    """
+
+    machine: Machine = DELL_INSPIRON
+    scenario: Optional[Scenario] = None
+    profile: SimProfile = TINY
+    decoder_config: DecoderConfig = field(default_factory=DecoderConfig)
+    frame_format: FrameFormat = field(default_factory=FrameFormat)
+    allow_c_states: bool = True
+    allow_p_states: bool = True
+    background: bool = False
+    use_ecc: bool = False
+    rate_scale: float = 1.0
+    vrm_dithering: object = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scenario is None:
+            self.scenario = near_field_scenario(
+                self.tuned_frequency_hz,
+                physics_frequency_hz=self.paper_tuned_frequency_hz,
+            )
+
+    @property
+    def vrm_frequency_hz(self) -> float:
+        """The machine's VRM frequency in profile-scaled Hz."""
+        return self.machine.vrm_frequency_hz / self.profile.total_freq_divisor
+
+    @property
+    def tuned_frequency_hz(self) -> float:
+        """SDR tuning: midway between the fundamental and first harmonic,
+        so both Eq. 1 components sit inside the capture bandwidth."""
+        return 1.5 * self.vrm_frequency_hz
+
+    @property
+    def paper_tuned_frequency_hz(self) -> float:
+        """Paper-scale tuning frequency, for profile-invariant physics."""
+        return 1.5 * self.machine.vrm_frequency_hz
+
+    def transmitter(self, rng: np.random.Generator) -> Transmitter:
+        if self.rate_scale <= 0:
+            raise ValueError("rate_scale must be positive")
+        # Lowering rate_scale stretches both halves of each bit - how the
+        # paper trades transmission rate for reliability at distance.
+        stretch = 1.0 / self.rate_scale
+        config = TransmitterConfig(
+            sleep_period_s=self.machine.scaled_sleep_period(self.profile) * stretch,
+            active_period_s=self.machine.scaled_active_period(self.profile) * stretch,
+        )
+        return Transmitter(
+            config,
+            timer=self.machine.sleep_timer(rng, self.profile),
+            compute=self.machine.compute_model(self.profile),
+            rng=rng,
+        )
+
+    def run(self, payload_bits) -> LinkResult:
+        """Transmit a payload and decode it; returns raw-channel metrics.
+
+        The returned metrics compare the *on-air* frame bits against the
+        receiver's raw decoded stream (before ECC), which is what the
+        paper's BER/IP/DP columns measure.
+        """
+        rng = np.random.default_rng(self.seed)
+        tx_bits = frame_payload(payload_bits, self.frame_format, self.use_ecc)
+        transmitter = self.transmitter(rng)
+        activity = transmitter.transmit(tx_bits)
+        activity = self._mix_system_activity(activity, rng)
+        capture = self.render_capture(activity, rng)
+        decoder = BatchDecoder(
+            self.vrm_frequency_hz,
+            expected_bit_period_s=transmitter.nominal_bit_duration_s(),
+            config=self.decoder_config,
+        )
+        decode = decoder.decode(capture)
+        metrics = align_bits(tx_bits, decode.bits)
+        return LinkResult(
+            tx_bits=tx_bits,
+            decode=decode,
+            metrics=metrics,
+            capture=capture,
+            activity=activity,
+            duration_s=activity.duration,
+            profile=self.profile,
+        )
+
+    def render_capture(
+        self, activity: ActivityTrace, rng: np.random.Generator
+    ) -> IQCapture:
+        """Run the analog chain: activity -> power states -> IQ samples."""
+        return render_chain_capture(
+            self.machine,
+            activity,
+            self.scenario,
+            self.profile,
+            rng,
+            allow_c_states=self.allow_c_states,
+            allow_p_states=self.allow_p_states,
+            vrm_dithering=self.vrm_dithering,
+        )
+
+    def _mix_system_activity(
+        self, activity: ActivityTrace, rng: np.random.Generator
+    ) -> ActivityTrace:
+        """Add interrupts (always) and background load (when enabled)."""
+        scheduler = Scheduler(rng=rng, time_scale=self.profile.time_scale)
+        traces = [activity]
+        system = irq.generate(
+            self.machine.interrupt_profile,
+            activity.duration,
+            rng,
+            time_scale=self.profile.time_scale,
+        )
+        traces.append(system)
+        if self.background:
+            load = irq.background_load(
+                activity.duration, rng, time_scale=self.profile.time_scale
+            )
+            # Contention stretches the transmitter's own timing too.
+            stretched = scheduler.contend(activity, load)
+            traces = [stretched, system, load]
+        return scheduler.package_activity(*traces)

@@ -1,0 +1,27 @@
+"""Signal-processing substrate: STFT, filters, detection, resampling."""
+
+from .detection import bimodal_threshold, histogram_modes, local_maxima
+from .filters import edge_kernel, lowpass, moving_average
+from .render import ascii_lane, ascii_spectrogram, sparkline
+from .resample import block_reduce, linear_resample
+from .stft import Spectrogram, stft
+from .windows import get_window, hann, rectangular
+
+__all__ = [
+    "Spectrogram",
+    "ascii_lane",
+    "ascii_spectrogram",
+    "bimodal_threshold",
+    "block_reduce",
+    "edge_kernel",
+    "get_window",
+    "hann",
+    "histogram_modes",
+    "linear_resample",
+    "local_maxima",
+    "lowpass",
+    "moving_average",
+    "rectangular",
+    "sparkline",
+    "stft",
+]

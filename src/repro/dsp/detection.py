@@ -1,0 +1,87 @@
+"""Peak and level detection helpers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import signal as sps
+
+
+def local_maxima(
+    x: np.ndarray,
+    min_distance: int = 1,
+    min_height: Optional[float] = None,
+    min_prominence: Optional[float] = None,
+) -> np.ndarray:
+    """Indices of local maxima, thinned by distance/height/prominence."""
+    if min_distance < 1:
+        raise ValueError("min_distance must be >= 1")
+    peaks, _ = sps.find_peaks(
+        x,
+        distance=min_distance,
+        height=min_height,
+        prominence=min_prominence,
+    )
+    return peaks
+
+
+def histogram_modes(
+    values: np.ndarray, bins: int = 64, smooth: int = 5
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Smoothed histogram and its mode locations.
+
+    Returns ``(centers, counts, mode_centers)`` where ``mode_centers``
+    are the bin-centre values at the local maxima of the smoothed
+    histogram, sorted by descending count.  Used by the paper's
+    threshold-selection step (Figure 7), which places the decision
+    threshold midway between the two dominant modes of the per-bit
+    average-power distribution.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot analyse an empty sample")
+    counts, edges = np.histogram(values, bins=bins)
+    centers = (edges[:-1] + edges[1:]) / 2
+    if smooth > 1:
+        kernel = np.ones(smooth) / smooth
+        smoothed = np.convolve(counts.astype(float), kernel, mode="same")
+    else:
+        smoothed = counts.astype(float)
+    # Zero-pad so modes sitting in the first/last bin (common when one
+    # lobe of a bimodal distribution is very tight) still count as peaks;
+    # find_peaks never reports boundary samples otherwise.
+    padded = np.concatenate([[0.0], smoothed, [0.0]])
+    peaks, props = sps.find_peaks(padded, height=smoothed.max() * 0.02)
+    peaks = peaks - 1
+    if peaks.size == 0:
+        peaks = np.array([int(np.argmax(smoothed))])
+        heights = smoothed[peaks]
+    else:
+        heights = props["peak_heights"]
+    order = np.argsort(heights)[::-1]
+    return centers, smoothed, centers[peaks[order]]
+
+
+def bimodal_threshold(values: np.ndarray, bins: int = 64) -> float:
+    """Decision threshold between the two dominant modes of ``values``.
+
+    Implements the paper's Figure 7 selection: find the two tallest
+    separated peaks of the distribution and return their midpoint.  If
+    the distribution is effectively unimodal, falls back to the midpoint
+    between the 10th and 90th percentile, which degrades gracefully for
+    all-zeros or all-ones batches.
+    """
+    values = np.asarray(values, dtype=float)
+    _, _, modes = histogram_modes(values, bins=bins)
+    if modes.size >= 2:
+        spread = values.max() - values.min()
+        # Take the tallest mode, then the tallest mode at least 10% of
+        # the range away from it, so histogram ripple on one lobe does
+        # not masquerade as the second lobe.
+        first = modes[0]
+        for candidate in modes[1:]:
+            if abs(candidate - first) > 0.1 * spread:
+                return float((first + candidate) / 2)
+    lo, hi = np.percentile(values, [10, 90])
+    return float((lo + hi) / 2)

@@ -1,0 +1,83 @@
+"""Terminal rendering of signals and spectrograms.
+
+The paper communicates its core observations through spectrograms
+(Figures 2 and 11).  These helpers render the same views as ASCII so
+experiments and examples can show them in a terminal and in logged
+reports, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .stft import Spectrogram
+
+#: Intensity ramp used for all renderings (dark -> bright).
+LEVELS = " .:-=+*#%@"
+
+
+def ascii_lane(
+    values: np.ndarray,
+    width: int = 72,
+    normalise="max",
+) -> str:
+    """One signal lane as a width-limited intensity string.
+
+    ``normalise``: ``"max"`` (default) scales by the lane maximum so a
+    constant-high lane renders as a solid wall; ``"minmax"`` stretches
+    to full range (amplifies texture); ``False`` expects values already
+    in [0, 1].
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return " " * width
+    blocks = np.array_split(values, width)
+    levels = np.array([b.mean() if b.size else 0.0 for b in blocks])
+    if normalise == "minmax" or normalise is True:
+        lo, hi = levels.min(), levels.max()
+        levels = (levels - lo) / max(hi - lo, 1e-12)
+    elif normalise == "max":
+        levels = levels / max(levels.max(), 1e-12)
+    levels = np.clip(levels, 0.0, 1.0)
+    return "".join(LEVELS[int(v * (len(LEVELS) - 1))] for v in levels)
+
+
+def ascii_spectrogram(
+    spec: Spectrogram,
+    low_hz: float,
+    high_hz: float,
+    width: int = 72,
+    height: int = 12,
+    db_floor: float = -50.0,
+) -> str:
+    """A frequency-band spectrogram as multi-line ASCII art.
+
+    Rows are frequency (highest on top, like the paper's figures),
+    columns are time; intensity is log-magnitude clipped at
+    ``db_floor`` below the peak.
+    """
+    bins = spec.band_indices(low_hz, high_hz)
+    if bins.size == 0:
+        raise ValueError("no spectrogram bins in the requested band")
+    mags = spec.magnitudes[:, bins]
+    with np.errstate(divide="ignore"):
+        db = 20.0 * np.log10(np.maximum(mags, 1e-20))
+    db -= db.max()
+    db = np.clip(db, db_floor, 0.0)
+    intensity = (db - db_floor) / (-db_floor)
+    # Reduce to the requested raster.
+    n_rows = min(height, bins.size)
+    rows = np.array_split(np.arange(bins.size), n_rows)
+    lines = []
+    for row_bins in rows[::-1]:  # highest frequency on top
+        lane = intensity[:, row_bins].mean(axis=1)
+        lines.append(ascii_lane(lane, width=width, normalise=False))
+    freqs = spec.frequencies[bins]
+    header = f"{freqs.max():,.0f} Hz"
+    footer = f"{freqs.min():,.0f} Hz"
+    return "\n".join([header] + [f"|{line}|" for line in lines] + [footer])
+
+
+def sparkline(values: np.ndarray, width: int = 40) -> str:
+    """A compact single-line rendering (for table cells/notes)."""
+    return ascii_lane(values, width=width)

@@ -1,0 +1,37 @@
+"""Rate conversion helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def linear_resample(x: np.ndarray, n_out: int) -> np.ndarray:
+    """Resample a real sequence to ``n_out`` points by linear interpolation.
+
+    Used for display/report paths where exact band-limited resampling is
+    unnecessary.
+    """
+    if n_out < 1:
+        raise ValueError("n_out must be >= 1")
+    x = np.asarray(x, dtype=float)
+    if x.size == 0:
+        raise ValueError("cannot resample an empty sequence")
+    if x.size == 1:
+        return np.full(n_out, x[0])
+    src = np.linspace(0.0, 1.0, x.size)
+    dst = np.linspace(0.0, 1.0, n_out)
+    return np.interp(dst, src, x)
+
+
+def block_reduce(x: np.ndarray, block: int, reduce=np.mean) -> np.ndarray:
+    """Reduce consecutive blocks of ``block`` samples with ``reduce``.
+
+    Trailing samples that do not fill a block are dropped.
+    """
+    if block < 1:
+        raise ValueError("block must be >= 1")
+    x = np.asarray(x)
+    n = (x.size // block) * block
+    if n == 0:
+        return np.empty(0, dtype=float)
+    return reduce(x[:n].reshape(-1, block), axis=1)

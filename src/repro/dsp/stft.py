@@ -1,0 +1,109 @@
+"""Short-time Fourier transform utilities.
+
+The receiver's acquisition step (paper Eq. 1) is a sliding FFT over the
+IQ stream; the keylogging detector (Section V-C) uses non-overlapping
+5 ms windows.  Both are served by :func:`stft`, which frames with an
+arbitrary hop.  Frames are materialised with stride tricks, so hop << M
+is memory-cheap until the FFT output itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .windows import get_window
+
+
+@dataclass
+class Spectrogram:
+    """STFT magnitudes and their axes.
+
+    Attributes
+    ----------
+    magnitudes:
+        Array of shape ``(n_frames, n_bins)`` of spectral magnitudes.
+    times:
+        Centre time of each frame, in seconds.
+    frequencies:
+        Frequency of each bin, in Hz.  For complex input these span
+        ``[-fs/2, fs/2)`` (fftshifted); for real input ``[0, fs/2]``.
+    hop:
+        Hop size in samples.
+    fft_size:
+        FFT length M.
+    sample_rate:
+        Input sample rate.
+    """
+
+    magnitudes: np.ndarray
+    times: np.ndarray
+    frequencies: np.ndarray
+    hop: int
+    fft_size: int
+    sample_rate: float
+
+    @property
+    def frame_rate(self) -> float:
+        """Frames per second of the time axis."""
+        return self.sample_rate / self.hop
+
+    def band_indices(self, low_hz: float, high_hz: float) -> np.ndarray:
+        """Bin indices whose frequency lies in ``[low_hz, high_hz]``."""
+        return np.nonzero(
+            (self.frequencies >= low_hz) & (self.frequencies <= high_hz)
+        )[0]
+
+    def nearest_bin(self, frequency_hz: float) -> int:
+        """Index of the bin closest to ``frequency_hz``."""
+        return int(np.argmin(np.abs(self.frequencies - frequency_hz)))
+
+    def band_energy(self, bins: np.ndarray) -> np.ndarray:
+        """Sum of magnitudes over the given bins, per frame (Eq. 1 form)."""
+        return self.magnitudes[:, bins].sum(axis=1)
+
+
+def stft(
+    samples: np.ndarray,
+    sample_rate: float,
+    fft_size: int = 1024,
+    hop: int = 32,
+    window: str = "hann",
+) -> Spectrogram:
+    """Compute an STFT magnitude spectrogram.
+
+    Complex input produces a two-sided (fftshifted) frequency axis, which
+    is what the SDR IQ path needs; real input produces a one-sided axis.
+    """
+    if fft_size < 2:
+        raise ValueError("fft_size must be >= 2")
+    if hop < 1:
+        raise ValueError("hop must be >= 1")
+    samples = np.asarray(samples)
+    if samples.size < fft_size:
+        raise ValueError(
+            f"need at least fft_size={fft_size} samples, got {samples.size}"
+        )
+    win = get_window(window, fft_size)
+    frames = sliding_window_view(samples, fft_size)[::hop]
+    complex_input = np.iscomplexobj(samples)
+    if complex_input:
+        spectra = np.fft.fft(frames * win, axis=1)
+        spectra = np.fft.fftshift(spectra, axes=1)
+        freqs = np.fft.fftshift(np.fft.fftfreq(fft_size, d=1.0 / sample_rate))
+    else:
+        spectra = np.fft.rfft(frames * win, axis=1)
+        freqs = np.fft.rfftfreq(fft_size, d=1.0 / sample_rate)
+    mags = np.abs(spectra)
+    n_frames = frames.shape[0]
+    times = (np.arange(n_frames) * hop + fft_size / 2) / sample_rate
+    return Spectrogram(
+        magnitudes=mags,
+        times=times,
+        frequencies=freqs,
+        hop=hop,
+        fft_size=fft_size,
+        sample_rate=sample_rate,
+    )

@@ -1,0 +1,31 @@
+"""Analysis windows for spectral processing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hann(length: int) -> np.ndarray:
+    """Periodic Hann window (suitable for overlapping STFT frames)."""
+    if length < 1:
+        raise ValueError("window length must be >= 1")
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length)
+    return 0.5 - 0.5 * np.cos(2 * np.pi * n / length)
+
+
+def rectangular(length: int) -> np.ndarray:
+    """Rectangular window (what a bare sliding FFT uses)."""
+    if length < 1:
+        raise ValueError("window length must be >= 1")
+    return np.ones(length)
+
+
+def get_window(name: str, length: int) -> np.ndarray:
+    """Window lookup by name ('hann' or 'rect')."""
+    if name == "hann":
+        return hann(length)
+    if name in ("rect", "rectangular", "boxcar"):
+        return rectangular(length)
+    raise ValueError(f"unknown window {name!r}")

@@ -1,0 +1,34 @@
+"""EM propagation substrate: path loss, antennas, noise, scenarios."""
+
+from .antenna import LoopAntenna, aor_la390, coil_probe
+from .environment import (
+    Scenario,
+    distance_scenario,
+    near_field_scenario,
+    through_wall_scenario,
+)
+from .noise import (
+    ImpulsiveNoise,
+    NoiseEnvironment,
+    ToneInterferer,
+    office_with_appliances,
+    quiet_lab,
+)
+from .propagation import PathModel, Wall
+
+__all__ = [
+    "ImpulsiveNoise",
+    "LoopAntenna",
+    "NoiseEnvironment",
+    "PathModel",
+    "Scenario",
+    "ToneInterferer",
+    "Wall",
+    "aor_la390",
+    "coil_probe",
+    "distance_scenario",
+    "near_field_scenario",
+    "office_with_appliances",
+    "quiet_lab",
+    "through_wall_scenario",
+]

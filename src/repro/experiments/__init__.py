@@ -1,0 +1,17 @@
+"""Per-table / per-figure regeneration harness (see DESIGN.md index)."""
+
+from .common import (
+    REGISTRY,
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    register,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "REGISTRY",
+    "get_experiment",
+    "list_experiments",
+    "register",
+]

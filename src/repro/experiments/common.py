@@ -1,0 +1,114 @@
+"""Experiment harness shared infrastructure.
+
+Every table/figure in the paper has a module here exposing
+
+    run(profile: SimProfile = ..., quick: bool = True, seed: int = 0)
+        -> ExperimentResult
+
+``quick`` trades statistical weight (bits per run, number of runs,
+words typed) for speed; benchmarks and tests use quick mode, the CLI's
+``--full`` flag turns it off.  Results render as aligned text tables so
+``python -m repro run <experiment>`` reproduces the paper's artifact
+as terminal output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from ..params import SimProfile
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure."""
+
+    experiment_id: str
+    title: str
+    rows: List[dict]
+    notes: List[str] = field(default_factory=list)
+
+    def columns(self) -> List[str]:
+        cols: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+        return cols
+
+    def render(self) -> str:
+        """Plain-text table in the paper's row order."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        cols = self.columns()
+        if self.rows:
+            formatted = [
+                {c: _format(row.get(c, "")) for c in cols} for row in self.rows
+            ]
+            widths = {
+                c: max(len(c), *(len(r[c]) for r in formatted)) for c in cols
+            }
+            header = "  ".join(c.ljust(widths[c]) for c in cols)
+            lines.append(header)
+            lines.append("-" * len(header))
+            for r in formatted:
+                lines.append("  ".join(r[c].ljust(widths[c]) for c in cols))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _format(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.01 or abs(value) >= 100000:
+            return f"{value:.2e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+#: Registry of experiment id -> run callable, populated by the modules.
+REGISTRY: Dict[str, Callable] = {}
+
+
+def register(experiment_id: str):
+    """Class/function decorator adding a run() callable to the registry."""
+
+    def wrap(fn):
+        REGISTRY[experiment_id] = fn
+        return fn
+
+    return wrap
+
+
+def list_experiments() -> List[str]:
+    """All registered experiment ids (import side effects included)."""
+    from . import (  # noqa: F401  (imported for registration side effects)
+        background_activity,
+        countermeasures,
+        fig2_spectrogram,
+        fig4_envelope,
+        fig5_edges,
+        fig6_pulsewidth,
+        fig7_threshold,
+        fig8_insertion_deletion,
+        fig9_comparison,
+        fig11_keylog_spectrogram,
+        fingerprint_websites,
+        sec3_state_disable,
+        table2_near_field,
+        table3_distance,
+        table4_keylogging,
+    )
+
+    return sorted(REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> Callable:
+    list_experiments()
+    try:
+        return REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")

@@ -1,0 +1,79 @@
+"""Section VI countermeasures, evaluated against the covert channel.
+
+Not a paper table - the paper only *proposes* these mitigations - but
+DESIGN.md lists them as the natural extension experiment: measure how
+each proposal degrades the attacker.
+"""
+
+from __future__ import annotations
+
+from ..countermeasures import VrmDithering, shielded_scenario
+from ..covert.evaluate import evaluate_link
+from ..covert.link import CovertLink
+from ..params import SimProfile, TINY
+from .common import ExperimentResult, register
+
+
+@register("countermeasures")
+def run(
+    profile: SimProfile = TINY,
+    quick: bool = True,
+    seed: int = 0,
+) -> ExperimentResult:
+    bits = 100 if quick else 300
+    runs = 1 if quick else 3
+    rows = []
+
+    def measure(label, link):
+        ev = evaluate_link(link, bits_per_run=bits, n_runs=runs, label=label)
+        rows.append(
+            {
+                "countermeasure": label,
+                "BER": ev.ber,
+                "IP": ev.insertion_probability,
+                "DP": ev.deletion_probability,
+                "channel_usable": ev.ber + ev.insertion_probability
+                + ev.deletion_probability
+                < 0.05,
+            }
+        )
+
+    measure("none (baseline)", CovertLink(profile=profile, seed=seed))
+    measure(
+        "disable P+C states",
+        CovertLink(
+            profile=profile,
+            seed=seed,
+            allow_c_states=False,
+            allow_p_states=False,
+        ),
+    )
+    for spread in (0.02, 0.05):
+        measure(
+            f"VRM dithering +/-{spread:.0%}",
+            CovertLink(
+                profile=profile,
+                seed=seed,
+                vrm_dithering=VrmDithering(spread_rel=spread),
+            ),
+        )
+    base = CovertLink(profile=profile, seed=seed)
+    for db in (20, 40):
+        measure(
+            f"EMI shield {db} dB",
+            CovertLink(
+                profile=profile,
+                seed=seed,
+                scenario=shielded_scenario(base.scenario, db),
+            ),
+        )
+    return ExperimentResult(
+        experiment_id="countermeasures",
+        title="Section VI countermeasures vs the covert channel",
+        rows=rows,
+        notes=[
+            "paper proposes: disabling P/C-states (energy cost), "
+            "randomising the PMU/VRM, and EMI shielding; all three are "
+            "modeled here and all degrade or kill the channel",
+        ],
+    )

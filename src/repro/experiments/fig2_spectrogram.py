@@ -1,0 +1,97 @@
+"""Figure 2: spectrogram of the active/idle alternation micro-benchmark.
+
+Runs the Figure 1 micro-benchmark through the analog chain and checks
+the signature the paper shows: spectral spikes at the PMU frequency
+(and its first harmonic) that appear during active periods and vanish
+during idle ones, with spike timing matching t1/t2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..chain import render_capture, tuned_frequency_hz
+from ..dsp.stft import stft
+from ..em.environment import near_field_scenario
+from ..params import SimProfile, TINY
+from ..power.workload import alternating_workload
+from ..systems.laptops import DELL_INSPIRON
+from .common import ExperimentResult, register
+
+
+@register("fig2")
+def run(
+    profile: SimProfile = TINY,
+    quick: bool = True,
+    seed: int = 0,
+    active_s: float = 500e-6,
+    idle_s: float = 500e-6,
+) -> ExperimentResult:
+    machine = DELL_INSPIRON
+    rng = np.random.default_rng(seed)
+    n_cycles = 12 if quick else 60
+    duration = profile.dilate((active_s + idle_s) * n_cycles)
+    workload = alternating_workload(
+        duration,
+        profile.dilate(active_s),
+        profile.dilate(idle_s),
+        jitter=0.03,
+        rng=rng,
+    )
+    scenario = near_field_scenario(
+        tuned_frequency_hz(machine, profile),
+        physics_frequency_hz=1.5 * machine.vrm_frequency_hz,
+    )
+    capture = render_capture(machine, workload, scenario, profile, rng)
+    spec = stft(capture.samples, capture.sample_rate, fft_size=1024, hop=128)
+
+    f0 = machine.vrm_frequency_hz / profile.total_freq_divisor
+    rows = []
+    for harmonic in (1, 2):
+        offset = capture.baseband_offset(harmonic * f0)
+        lane = spec.magnitudes[:, spec.nearest_bin(offset)]
+        off_lane = spec.magnitudes[
+            :, spec.nearest_bin(offset + 0.23 * f0)
+        ]  # quiet reference bin between lines
+        hi = float(np.percentile(lane, 85))
+        lo = float(np.percentile(lane, 15))
+        rows.append(
+            {
+                "component": f"{harmonic}*f0",
+                "frequency_hz_paper_scale": harmonic * machine.vrm_frequency_hz,
+                "spike_on_level": hi,
+                "spike_off_level": lo,
+                "on_off_contrast": hi / max(lo, 1e-12),
+                "line_to_background": float(np.median(lane))
+                / max(float(np.median(off_lane)), 1e-12),
+            }
+        )
+    # Spike alternation period from the envelope autocorrelation.
+    lane = spec.magnitudes[:, spec.nearest_bin(capture.baseband_offset(f0))]
+    lane = lane - lane.mean()
+    ac = np.correlate(lane, lane, mode="full")[lane.size - 1 :]
+    min_lag = 4
+    peak = min_lag + int(np.argmax(ac[min_lag : lane.size // 2]))
+    frame_s = spec.hop / capture.sample_rate
+    measured_period = peak * frame_s / profile.time_scale
+    rows.append(
+        {
+            "component": "alternation",
+            "frequency_hz_paper_scale": 1.0 / (active_s + idle_s),
+            "spike_on_level": float("nan"),
+            "spike_off_level": float("nan"),
+            "on_off_contrast": float("nan"),
+            "line_to_background": float("nan"),
+            "measured_period_s_paper_scale": measured_period,
+            "expected_period_s_paper_scale": active_s + idle_s,
+        }
+    )
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="Spectrogram spikes under active/idle alternation",
+        rows=rows,
+        notes=[
+            "paper: strong spikes at ~970 kHz and first harmonic during "
+            "active periods, absent when idle; spike length follows t1/t2",
+        ],
+    )

@@ -1,0 +1,81 @@
+"""Figure 4: the Eq. 1 envelope Y[n] with the transmitted bits overlaid.
+
+Transmits a short known pattern and verifies the paper's observations:
+the envelope rises sharply at every bit start (even zeros), and the
+per-bit magnitudes separate ones from zeros.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..covert.link import CovertLink
+from ..params import SimProfile, TINY
+from ..systems.laptops import DELL_INSPIRON
+from .common import ExperimentResult, register
+
+
+@register("fig4")
+def run(
+    profile: SimProfile = TINY,
+    quick: bool = True,
+    seed: int = 0,
+) -> ExperimentResult:
+    n_bits = 40 if quick else 160
+    rng = np.random.default_rng(seed + 100)
+    payload = rng.integers(0, 2, size=n_bits)
+    link = CovertLink(machine=DELL_INSPIRON, profile=profile, seed=seed)
+    result = link.run(payload)
+    decode = result.decode
+    powers = decode.powers
+    bits = decode.bits
+    ones = powers[bits == 1]
+    zeros = powers[bits == 0]
+    rows = [
+        {
+            "quantity": "per-bit average power (ones)",
+            "mean": float(ones.mean()) if ones.size else float("nan"),
+            "std": float(ones.std()) if ones.size else float("nan"),
+            "count": int(ones.size),
+        },
+        {
+            "quantity": "per-bit average power (zeros)",
+            "mean": float(zeros.mean()) if zeros.size else float("nan"),
+            "std": float(zeros.std()) if zeros.size else float("nan"),
+            "count": int(zeros.size),
+        },
+        {
+            "quantity": "one/zero separation",
+            "mean": float(ones.mean() / max(zeros.mean(), 1e-12))
+            if ones.size and zeros.size
+            else float("nan"),
+            "std": float("nan"),
+            "count": int(powers.size),
+        },
+    ]
+    # The "sharp increase at every bit" observation: envelope derivative
+    # at detected starts vs elsewhere.
+    y = decode.envelope.samples
+    dy = np.diff(y, prepend=y[0])
+    at_starts = []
+    for s in decode.starts:
+        lo, hi = max(s - 2, 0), min(s + 3, dy.size)
+        if hi > lo:
+            at_starts.append(dy[lo:hi].max())
+    rows.append(
+        {
+            "quantity": "envelope rise at bit starts vs overall p95",
+            "mean": float(np.median(at_starts)) if at_starts else float("nan"),
+            "std": float(np.percentile(dy, 95)),
+            "count": len(at_starts),
+        }
+    )
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Eq.1 envelope magnitudes and bit overlay",
+        rows=rows,
+        notes=[
+            "paper: sharp envelope increase at every transmitted bit "
+            "(including zeros); one/zero magnitudes clearly separated",
+        ],
+    )

@@ -1,0 +1,79 @@
+"""Figure 8: bit deletions and insertions from system activity.
+
+Injects a much heavier interrupt population than normal and shows the
+two error mechanisms the paper illustrates: long bursts suppress bit
+edges (deletions), spurious bursts during sleeps create false edges
+(insertions).  Also demonstrates the paper's countermeasure - the
+single-error-correcting parity code - recovering the payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..core.coding import hamming_decode
+from ..core.sync import strip_header
+from ..covert.link import CovertLink
+from ..osmodel.interrupts import InterruptProfile
+from ..params import SimProfile, TINY
+from ..systems.laptops import DELL_INSPIRON
+from .common import ExperimentResult, register
+
+#: A deliberately hostile interrupt environment.
+STORM = InterruptProfile(
+    routine_rate_hz=1200.0,
+    routine_duration_s=35e-6,
+    heavy_rate_hz=25.0,
+    heavy_duration_s=450e-6,
+)
+
+
+@register("fig8")
+def run(
+    profile: SimProfile = TINY,
+    quick: bool = True,
+    seed: int = 0,
+) -> ExperimentResult:
+    n_bits = 96 if quick else 400
+    rng = np.random.default_rng(seed + 100)
+    payload = rng.integers(0, 2, size=n_bits)
+    rows = []
+    for label, machine in (
+        ("normal interrupts", DELL_INSPIRON),
+        ("interrupt storm", replace(DELL_INSPIRON, interrupt_profile=STORM)),
+    ):
+        link = CovertLink(machine=machine, profile=profile, seed=seed, use_ecc=True)
+        result = link.run(payload)
+        m = result.metrics
+        # ECC recovery: strip the frame header and decode Hamming(7,4).
+        recovered = strip_header(result.decode.bits, link.frame_format)
+        if recovered is not None:
+            data, corrected = hamming_decode(recovered)
+            n = min(data.size, payload.size)
+            payload_errors = int(np.count_nonzero(data[:n] != payload[:n]))
+            payload_errors += payload.size - n
+        else:
+            corrected = 0
+            payload_errors = payload.size
+        rows.append(
+            {
+                "condition": label,
+                "raw_BER": m.ber,
+                "insertions": m.insertions,
+                "deletions": m.deletions,
+                "ecc_corrected": corrected,
+                "payload_bit_errors": payload_errors,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Insertions/deletions under interrupt activity + ECC recovery",
+        rows=rows,
+        notes=[
+            "paper: interrupts suppress or fake bit edges; deletion "
+            "probability stays low (<0.2%) and simple parity coding "
+            "repairs the stream",
+        ],
+    )

@@ -1,0 +1,40 @@
+"""Batch experiment runner used by the CLI and the bench harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional
+
+from ..params import SimProfile
+from .common import ExperimentResult, get_experiment, list_experiments
+
+
+def run_experiments(
+    experiment_ids: Optional[Iterable[str]] = None,
+    profile: Optional[SimProfile] = None,
+    quick: bool = True,
+    seed: int = 0,
+    echo=print,
+) -> List[ExperimentResult]:
+    """Run a set of experiments and echo their rendered tables.
+
+    ``experiment_ids`` of None runs everything in the registry.  Each
+    experiment picks its own default profile when ``profile`` is None
+    (keystroke experiments use frequency scaling, the rest use time
+    dilation).
+    """
+    ids = list(experiment_ids) if experiment_ids is not None else list_experiments()
+    results: List[ExperimentResult] = []
+    for eid in ids:
+        fn = get_experiment(eid)
+        started = time.perf_counter()
+        if profile is None:
+            result = fn(quick=quick, seed=seed)
+        else:
+            result = fn(profile=profile, quick=quick, seed=seed)
+        elapsed = time.perf_counter() - started
+        results.append(result)
+        echo(result.render())
+        echo(f"[{eid} finished in {elapsed:.1f}s]")
+        echo("")
+    return results

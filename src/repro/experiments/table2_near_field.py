@@ -1,0 +1,55 @@
+"""Table II: near-field covert-channel results on the six Table I laptops."""
+
+from __future__ import annotations
+
+from ..covert.evaluate import evaluate_link
+from ..covert.link import CovertLink
+from ..params import SimProfile, TINY
+from ..systems.laptops import TABLE_I
+from .common import ExperimentResult, register
+
+#: The paper's Table II, for side-by-side reporting.
+PAPER_TABLE_II = {
+    "Dell Precision 7290": {"BER": 2e-3, "TR": 982, "IP": 0.0, "DP": 0.0},
+    "MacBookPro-2015": {"BER": 3e-2, "TR": 3700, "IP": 0.0, "DP": 3e-3},
+    "Dell Inspiron 15-3537": {"BER": 8e-3, "TR": 3162, "IP": 4.5e-3, "DP": 6.3e-3},
+    "MacBookPro-2018": {"BER": 2.8e-2, "TR": 3640, "IP": 0.0, "DP": 2.9e-3},
+    "Lenovo Thinkpad": {"BER": 5e-3, "TR": 3020, "IP": 0.0, "DP": 1e-3},
+    "Sony Ultrabook": {"BER": 4e-3, "TR": 974, "IP": 0.0, "DP": 5e-3},
+}
+
+
+@register("table2")
+def run(
+    profile: SimProfile = TINY,
+    quick: bool = True,
+    seed: int = 0,
+) -> ExperimentResult:
+    bits = 150 if quick else 400
+    runs = 2 if quick else 5
+    rows = []
+    for machine in TABLE_I:
+        link = CovertLink(machine=machine, profile=profile, seed=seed)
+        ev = evaluate_link(link, bits_per_run=bits, n_runs=runs)
+        paper = PAPER_TABLE_II[machine.name]
+        rows.append(
+            {
+                "laptop": machine.name,
+                "OS": machine.os_name,
+                "BER": ev.ber,
+                "TR_bps": ev.transmission_rate_bps,
+                "IP": ev.insertion_probability,
+                "DP": ev.deletion_probability,
+                "paper_BER": paper["BER"],
+                "paper_TR": paper["TR"],
+            }
+        )
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Near-field covert channel: BER/TR/IP/DP per laptop",
+        rows=rows,
+        notes=[
+            "shape targets: Unix laptops 3-4 kbps, Windows laptops below "
+            "1 kbps; BER in the 1e-3..3e-2 band; IP/DP at or below 1e-2",
+        ],
+    )

@@ -1,0 +1,24 @@
+"""Website/application fingerprinting (Section III attack model ii-b)."""
+
+from .classifier import NearestCentroidClassifier, accuracy, confusion_matrix
+from .evaluate import FingerprintExperiment, FingerprintResult
+from .features import (
+    FEATURE_NAMES,
+    ActivityFeatureExtractor,
+    features_from_events,
+)
+from .workloads import LoadPhase, WebsiteProfile, default_catalog
+
+__all__ = [
+    "ActivityFeatureExtractor",
+    "FEATURE_NAMES",
+    "FingerprintExperiment",
+    "FingerprintResult",
+    "LoadPhase",
+    "NearestCentroidClassifier",
+    "WebsiteProfile",
+    "accuracy",
+    "confusion_matrix",
+    "default_catalog",
+    "features_from_events",
+]

@@ -1,0 +1,80 @@
+"""A small classifier for fingerprint feature vectors.
+
+Nearest-centroid over z-normalised features: simple, parameter-free,
+and adequate for the well-separated page-load signatures the attack
+model targets (the paper suggests standard supervised classifiers once
+activity durations are recovered).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class NearestCentroidClassifier:
+    """Z-normalised nearest-centroid classification."""
+
+    _labels: List[str] = field(default_factory=list)
+    _centroids: Optional[np.ndarray] = None
+    _mean: Optional[np.ndarray] = None
+    _std: Optional[np.ndarray] = None
+
+    def fit(
+        self, features: np.ndarray, labels: Sequence[str]
+    ) -> "NearestCentroidClassifier":
+        """Fit centroids from a (n_samples, n_features) matrix."""
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2 or features.shape[0] != len(labels):
+            raise ValueError("features must be (n_samples, n_features)")
+        self._mean = features.mean(axis=0)
+        self._std = features.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        normalised = (features - self._mean) / self._std
+        self._labels = sorted(set(labels))
+        centroids = []
+        label_arr = np.array(labels)
+        for label in self._labels:
+            centroids.append(normalised[label_arr == label].mean(axis=0))
+        self._centroids = np.array(centroids)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._centroids is not None
+
+    def predict(self, features: np.ndarray) -> List[str]:
+        """Predict labels for a (n_samples, n_features) matrix."""
+        if not self.is_fitted:
+            raise RuntimeError("classifier is not fitted")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        normalised = (features - self._mean) / self._std
+        distances = np.linalg.norm(
+            normalised[:, None, :] - self._centroids[None, :, :], axis=2
+        )
+        return [self._labels[i] for i in np.argmin(distances, axis=1)]
+
+    def predict_one(self, feature_vector: np.ndarray) -> str:
+        return self.predict(feature_vector[None, :])[0]
+
+
+def confusion_matrix(
+    true_labels: Sequence[str], predicted: Sequence[str]
+) -> Tuple[np.ndarray, List[str]]:
+    """Confusion counts and the label order used."""
+    labels = sorted(set(true_labels) | set(predicted))
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for t, p in zip(true_labels, predicted):
+        matrix[index[t], index[p]] += 1
+    return matrix, labels
+
+
+def accuracy(true_labels: Sequence[str], predicted: Sequence[str]) -> float:
+    if not true_labels:
+        return 0.0
+    hits = sum(1 for t, p in zip(true_labels, predicted) if t == p)
+    return hits / len(true_labels)

@@ -1,0 +1,106 @@
+"""Website fingerprinting evaluation: train/test over the catalog."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..chain import paper_tuned_frequency_hz, render_capture, tuned_frequency_hz
+from ..em.environment import Scenario, near_field_scenario
+from ..osmodel import interrupts as irq
+from ..params import KEYLOG, SimProfile
+from ..systems.laptops import DELL_PRECISION, Machine
+from .classifier import NearestCentroidClassifier, accuracy, confusion_matrix
+from .features import ActivityFeatureExtractor
+from .workloads import WebsiteProfile, default_catalog
+
+
+@dataclass
+class FingerprintResult:
+    """Scores of one fingerprinting run."""
+
+    accuracy: float
+    confusion: np.ndarray
+    labels: List[str]
+    n_train: int
+    n_test: int
+
+
+@dataclass
+class FingerprintExperiment:
+    """Website fingerprinting through the PMU emission.
+
+    For each site in the catalog, render several page loads through the
+    analog chain, extract activity-shape features, train a classifier
+    on part of them and score the rest.
+    """
+
+    machine: Machine = DELL_PRECISION
+    scenario: Optional[Scenario] = None
+    profile: SimProfile = KEYLOG
+    catalog: Sequence[WebsiteProfile] = field(default_factory=default_catalog)
+    seed: int = 0
+
+    def _scenario(self) -> Scenario:
+        if self.scenario is not None:
+            return self.scenario
+        return near_field_scenario(
+            tuned_frequency_hz(self.machine, self.profile),
+            physics_frequency_hz=paper_tuned_frequency_hz(self.machine),
+        )
+
+    def capture_load(
+        self, site: WebsiteProfile, rng: np.random.Generator
+    ):
+        """Render one page load into an IQ capture."""
+        activity = site.sample(rng)
+        system = irq.generate(
+            self.machine.interrupt_profile,
+            activity.duration,
+            rng,
+            time_scale=self.profile.time_scale,
+        )
+        activity = activity.merged_with(system)
+        return render_capture(
+            self.machine, activity, self._scenario(), self.profile, rng
+        )
+
+    def run(
+        self, loads_per_site: int = 6, train_fraction: float = 0.5
+    ) -> FingerprintResult:
+        """Full experiment: capture, featurise, train, score."""
+        if loads_per_site < 2:
+            raise ValueError("need at least 2 loads per site")
+        rng = np.random.default_rng(self.seed)
+        extractor = ActivityFeatureExtractor(
+            self.machine.vrm_frequency_hz / self.profile.total_freq_divisor
+        )
+        features: List[np.ndarray] = []
+        labels: List[str] = []
+        for site in self.catalog:
+            for _ in range(loads_per_site):
+                capture = self.capture_load(site, rng)
+                features.append(extractor.features(capture))
+                labels.append(site.name)
+        features_arr = np.array(features)
+        n_train = max(int(loads_per_site * train_fraction), 1)
+        train_idx, test_idx = [], []
+        for s in range(len(self.catalog)):
+            base = s * loads_per_site
+            train_idx.extend(range(base, base + n_train))
+            test_idx.extend(range(base + n_train, base + loads_per_site))
+        clf = NearestCentroidClassifier().fit(
+            features_arr[train_idx], [labels[i] for i in train_idx]
+        )
+        predicted = clf.predict(features_arr[test_idx])
+        true = [labels[i] for i in test_idx]
+        matrix, label_order = confusion_matrix(true, predicted)
+        return FingerprintResult(
+            accuracy=accuracy(true, predicted),
+            confusion=matrix,
+            labels=label_order,
+            n_train=len(train_idx),
+            n_test=len(test_idx),
+        )

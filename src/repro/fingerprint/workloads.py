@@ -1,0 +1,154 @@
+"""Synthetic page-load workloads for website fingerprinting.
+
+Section III's attack model: "the attacker can monitor these signals to
+infer how long the processor was active to process a certain task.
+Such information, for example, can be used for website fingerprinting".
+
+A page load produces a characteristic processor-activity signature:
+network waits (idle), an HTML parse burst, script-execution bursts and
+a layout/render burst.  Different sites differ in how many resources
+they fetch, how much script they run and how long layout takes, so the
+*shape* of the activity trace identifies the site.  This module defines
+parametric site profiles and samples activity traces from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..types import ActivityTrace, Interval
+
+
+@dataclass(frozen=True)
+class LoadPhase:
+    """One phase of a page load.
+
+    ``burst_s`` is the mean CPU burst for this phase, ``gap_s`` the mean
+    idle wait before it (network latency / queueing); ``repeat`` models
+    per-resource repetition (e.g. one script burst per fetched script).
+    """
+
+    name: str
+    burst_s: float
+    gap_s: float
+    repeat: int = 1
+    jitter_rel: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.burst_s <= 0 or self.gap_s < 0:
+            raise ValueError("phase durations must be positive")
+        if self.repeat < 1:
+            raise ValueError("repeat must be >= 1")
+
+
+@dataclass(frozen=True)
+class WebsiteProfile:
+    """A website's load signature: an ordered list of phases."""
+
+    name: str
+    phases: Tuple[LoadPhase, ...]
+
+    def sample(
+        self, rng: np.random.Generator, settle_s: float = 0.4
+    ) -> ActivityTrace:
+        """Draw one page load as an activity trace.
+
+        ``settle_s`` of trailing idle is appended (the tab going quiet),
+        so captures include the end of the load.
+        """
+        intervals: List[Interval] = []
+        t = 0.1  # brief initial idle before the click lands
+        for phase in self.phases:
+            for _ in range(phase.repeat):
+                gap = phase.gap_s * _jitter(rng, phase.jitter_rel)
+                t += gap
+                burst = phase.burst_s * _jitter(rng, phase.jitter_rel)
+                intervals.append(Interval(t, t + burst))
+                t += burst
+        return ActivityTrace(intervals, t + settle_s)
+
+    @property
+    def nominal_load_s(self) -> float:
+        """Expected wall time of one load."""
+        return 0.1 + sum(
+            (p.gap_s + p.burst_s) * p.repeat for p in self.phases
+        )
+
+
+def _jitter(rng: np.random.Generator, rel: float) -> float:
+    return max(1.0 + rel * float(rng.standard_normal()), 0.25)
+
+
+def default_catalog() -> List[WebsiteProfile]:
+    """Eight synthetic sites spanning light static pages to heavy apps."""
+    return [
+        WebsiteProfile(
+            "static-blog",
+            (
+                LoadPhase("parse", 0.10, 0.12),
+                LoadPhase("render", 0.08, 0.05),
+            ),
+        ),
+        WebsiteProfile(
+            "news-site",
+            (
+                LoadPhase("parse", 0.15, 0.10),
+                LoadPhase("scripts", 0.06, 0.08, repeat=4),
+                LoadPhase("render", 0.12, 0.04),
+            ),
+        ),
+        WebsiteProfile(
+            "social-feed",
+            (
+                LoadPhase("parse", 0.10, 0.08),
+                LoadPhase("scripts", 0.09, 0.05, repeat=6),
+                LoadPhase("render", 0.10, 0.03),
+                LoadPhase("lazy-load", 0.07, 0.25, repeat=2),
+            ),
+        ),
+        WebsiteProfile(
+            "video-portal",
+            (
+                LoadPhase("parse", 0.12, 0.10),
+                LoadPhase("scripts", 0.08, 0.06, repeat=3),
+                LoadPhase("player-init", 0.30, 0.15),
+                LoadPhase("buffer", 0.05, 0.30, repeat=3),
+            ),
+        ),
+        WebsiteProfile(
+            "webmail",
+            (
+                LoadPhase("parse", 0.08, 0.08),
+                LoadPhase("app-boot", 0.40, 0.10),
+                LoadPhase("inbox-fetch", 0.10, 0.20, repeat=2),
+            ),
+        ),
+        WebsiteProfile(
+            "shopping",
+            (
+                LoadPhase("parse", 0.14, 0.10),
+                LoadPhase("scripts", 0.07, 0.07, repeat=5),
+                LoadPhase("images", 0.04, 0.06, repeat=6),
+                LoadPhase("render", 0.14, 0.04),
+            ),
+        ),
+        WebsiteProfile(
+            "maps",
+            (
+                LoadPhase("parse", 0.09, 0.08),
+                LoadPhase("app-boot", 0.28, 0.08),
+                LoadPhase("tiles", 0.05, 0.08, repeat=8),
+            ),
+        ),
+        WebsiteProfile(
+            "bank-login",
+            (
+                LoadPhase("parse", 0.07, 0.15),
+                LoadPhase("crypto", 0.22, 0.10),
+                LoadPhase("render", 0.06, 0.05),
+            ),
+        ),
+    ]

@@ -1,0 +1,44 @@
+"""Keylogging application: typing model, keystroke detection, words."""
+
+from .activity import KeystrokeActivityModel, keystrokes_to_activity
+from .detector import (
+    DetectedEvent,
+    KeylogDetection,
+    KeylogDetectorConfig,
+    KeystrokeDetector,
+    match_events,
+)
+from .evaluate import KeylogExperiment, KeylogResult
+from .interkey import (
+    IntervalProfile,
+    TimingAnalysis,
+    analyze_timing,
+    dictionary_reduction_factor,
+    intervals_from_events,
+)
+from .typing_model import TypingModel, TypistProfile, key_distance, random_words
+from .words import WordSegmentation, segment_words, word_accuracy
+
+__all__ = [
+    "DetectedEvent",
+    "KeylogDetection",
+    "KeylogDetectorConfig",
+    "IntervalProfile",
+    "KeylogExperiment",
+    "KeylogResult",
+    "TimingAnalysis",
+    "KeystrokeActivityModel",
+    "KeystrokeDetector",
+    "TypingModel",
+    "TypistProfile",
+    "WordSegmentation",
+    "analyze_timing",
+    "dictionary_reduction_factor",
+    "intervals_from_events",
+    "key_distance",
+    "keystrokes_to_activity",
+    "match_events",
+    "random_words",
+    "segment_words",
+    "word_accuracy",
+]

@@ -1,0 +1,145 @@
+"""Keylogging evaluation harness (Table IV).
+
+Runs the full pipeline for one scenario: generate a typing session,
+render the emission capture, detect keystrokes, and score character
+TPR/FPR plus word precision/recall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..chain import render_capture, tuned_frequency_hz
+from ..em.environment import Scenario
+from ..osmodel import interrupts as irq
+from ..params import KEYLOG, SimProfile
+from ..systems.laptops import DELL_PRECISION, Machine
+from ..types import Keystroke
+from .activity import KeystrokeActivityModel, keystrokes_to_activity
+from .detector import (
+    KeylogDetection,
+    KeylogDetectorConfig,
+    KeystrokeDetector,
+    match_events,
+)
+from .typing_model import TypingModel, TypistProfile, random_words
+from .words import segment_words, word_accuracy
+
+
+@dataclass
+class KeylogResult:
+    """Scores for one keylogging run (one Table IV row)."""
+
+    label: str
+    true_positive_rate: float
+    false_positive_rate: float
+    word_precision: float
+    word_recall: float
+    n_keystrokes: int
+    n_detected: int
+    detection: KeylogDetection
+
+    def row(self) -> dict:
+        return {
+            "label": self.label,
+            "TPR": self.true_positive_rate,
+            "FPR": self.false_positive_rate,
+            "word_precision": self.word_precision,
+            "word_recall": self.word_recall,
+        }
+
+
+@dataclass
+class KeylogExperiment:
+    """A configured keylogging attack simulation.
+
+    Parameters
+    ----------
+    machine:
+        Target laptop (the paper uses the Dell Precision).
+    scenario:
+        Measurement setup; callers build near-field / distance / wall
+        scenarios with the machine's tuned frequency.
+    profile:
+        Simulation profile - keystroke runs use frequency scaling only
+        (:data:`repro.params.KEYLOG`) because keystroke timescales stay
+        far above the STFT window at reduced carrier frequencies.
+    typist:
+        Typing-behaviour parameters.
+    """
+
+    machine: Machine = DELL_PRECISION
+    scenario: Optional[Scenario] = None
+    profile: SimProfile = KEYLOG
+    typist: TypistProfile = field(default_factory=TypistProfile)
+    activity_model: KeystrokeActivityModel = field(
+        default_factory=KeystrokeActivityModel
+    )
+    detector_config: KeylogDetectorConfig = field(
+        default_factory=KeylogDetectorConfig
+    )
+    seed: int = 0
+
+    def type_and_capture(self, text: str):
+        """Simulate typing ``text``; returns (keystrokes, capture)."""
+        rng = np.random.default_rng(self.seed)
+        model = TypingModel(self.typist, rng)
+        keystrokes = model.type_text(text, start_time=0.3)
+        duration = keystrokes[-1].release_time + 0.5 if keystrokes else 1.0
+        activity = keystrokes_to_activity(
+            keystrokes,
+            duration,
+            self.activity_model,
+            rng,
+            time_scale=self.profile.time_scale,
+        )
+        system = irq.generate(
+            self.machine.interrupt_profile,
+            duration,
+            rng,
+            time_scale=self.profile.time_scale,
+        )
+        activity = activity.merged_with(system)
+        scenario = self.scenario
+        if scenario is None:
+            from ..em.environment import near_field_scenario
+
+            scenario = near_field_scenario(
+                tuned_frequency_hz(self.machine, self.profile),
+                physics_frequency_hz=1.5 * self.machine.vrm_frequency_hz,
+            )
+        capture = render_capture(
+            self.machine, activity, scenario, self.profile, rng
+        )
+        return keystrokes, capture
+
+    def run(self, text: Optional[str] = None, n_words: int = 50) -> KeylogResult:
+        """Full attack: type, capture, detect, score."""
+        if text is None:
+            text = random_words(n_words, np.random.default_rng(self.seed + 77))
+        keystrokes, capture = self.type_and_capture(text)
+        detector = KeystrokeDetector(
+            self.machine.vrm_frequency_hz / self.profile.total_freq_divisor,
+            self.detector_config,
+        )
+        detection = detector.detect(capture)
+        tp, fp, fn = match_events(detection.events, keystrokes)
+        tpr = tp / max(len(keystrokes), 1)
+        fpr = fp / max(len(detection.events), 1)
+        seg = segment_words(detection.events)
+        true_lengths = [len(w) for w in text.split(" ") if w]
+        precision, recall = word_accuracy(seg.word_lengths, true_lengths)
+        label = self.scenario.name if self.scenario is not None else "near-field"
+        return KeylogResult(
+            label=label,
+            true_positive_rate=tpr,
+            false_positive_rate=fpr,
+            word_precision=precision,
+            word_recall=recall,
+            n_keystrokes=len(keystrokes),
+            n_detected=detection.count,
+            detection=detection,
+        )

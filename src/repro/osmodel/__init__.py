@@ -1,0 +1,19 @@
+"""OS timing substrate: sleep timers, interrupts, scheduler contention."""
+
+from .interrupts import NOISY, QUIET, InterruptProfile, background_load, generate
+from .scheduler import Scheduler, SchedulerConfig
+from .timers import ComputeModel, SleepTimer, UnixUsleep, WindowsSleep
+
+__all__ = [
+    "ComputeModel",
+    "InterruptProfile",
+    "NOISY",
+    "QUIET",
+    "Scheduler",
+    "SchedulerConfig",
+    "SleepTimer",
+    "UnixUsleep",
+    "WindowsSleep",
+    "background_load",
+    "generate",
+]

@@ -1,0 +1,97 @@
+"""A minimal scheduler model: mixing competing activity onto one package.
+
+The covert-channel transmitter shares the machine with OS housekeeping
+and, in the Section IV-C2 experiment, with a resource-intensive
+background process.  For the *EM emission* all that matters is the union
+of activity on the package (any running core keeps the VRM loaded); for
+the *transmitter's timing*, competing load stretches its active periods
+(time sharing) and delays its wakeups.  This module models both effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..types import ActivityTrace, Interval
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs for the time-sharing perturbation.
+
+    ``stretch_per_overlap`` is the factor by which a transmitter active
+    period grows per unit of overlapping competing activity (1.0 means a
+    fully contended period takes twice as long).  ``wakeup_delay_s`` is
+    the mean extra delay before a sleeping process is scheduled again
+    when the system is busy at its wake time.
+    """
+
+    stretch_per_overlap: float = 0.5
+    wakeup_delay_s: float = 20e-6
+
+
+class Scheduler:
+    """Applies contention effects and merges traces for emission."""
+
+    def __init__(
+        self,
+        config: Optional[SchedulerConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        time_scale: float = 1.0,
+    ):
+        self.config = config if config is not None else SchedulerConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(3)
+        self.time_scale = time_scale
+
+    def contend(
+        self, transmitter: ActivityTrace, competitor: ActivityTrace
+    ) -> ActivityTrace:
+        """Stretch transmitter intervals that overlap competing activity.
+
+        Returns a new transmitter trace whose active periods are extended
+        proportionally to how much competing activity overlapped them and
+        whose starts are pushed back when a wakeup lands on a busy system.
+        Later intervals are shifted so ordering is preserved.
+        """
+        if not transmitter.intervals:
+            return transmitter
+        delay_mean = self.config.wakeup_delay_s * self.time_scale
+        out: List[Interval] = []
+        shift = 0.0
+        for iv in transmitter.intervals:
+            start = iv.start + shift
+            overlap = _overlap_seconds(competitor, start, start + iv.duration)
+            busy_at_wake = competitor.levels_at(np.array([start]))[0] > 0
+            if busy_at_wake and delay_mean > 0:
+                delay = float(self._rng.exponential(delay_mean))
+                start += delay
+                shift += delay
+            stretch = self.config.stretch_per_overlap * overlap
+            end = start + iv.duration + stretch
+            shift += stretch
+            out.append(Interval(start, end, iv.level))
+        duration = max(transmitter.duration + shift, out[-1].end)
+        return ActivityTrace(out, duration)
+
+    def package_activity(self, *traces: ActivityTrace) -> ActivityTrace:
+        """Union of all activity on the package (drives the VRM)."""
+        if not traces:
+            raise ValueError("need at least one trace")
+        merged = traces[0]
+        for t in traces[1:]:
+            merged = merged.merged_with(t)
+        return merged
+
+
+def _overlap_seconds(trace: ActivityTrace, start: float, end: float) -> float:
+    """Level-weighted seconds of ``trace`` activity inside ``[start, end)``."""
+    total = 0.0
+    for iv in trace.intervals:
+        lo = max(iv.start, start)
+        hi = min(iv.end, end)
+        if hi > lo:
+            total += (hi - lo) * iv.level
+    return total

@@ -1,0 +1,153 @@
+"""OS sleep-timer models.
+
+The paper's covert-channel bit-rate is set almost entirely by how
+precisely a user-level process can control its own idleness: ``usleep``
+on Linux/macOS is microsecond-granular while ``Sleep`` on Windows is
+quantised to the ~1 ms timer tick, which is why Table II shows 3-4 kbps
+for the Unix laptops and just under 1 kbps for the Windows ones.
+
+Each model maps a *requested* sleep to a *realised* sleep drawn from a
+positively skewed distribution (a sleep can be lengthened by other system
+activity but never shortened), matching the ``usleep`` man-page caveat
+the paper quotes and producing the Rayleigh-like pulse-width spread of
+Figure 6.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class SleepTimer(ABC):
+    """Maps requested sleep durations to realised durations."""
+
+    def __init__(self, rng: np.random.Generator, time_scale: float = 1.0):
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self._rng = rng
+        self.time_scale = time_scale
+
+    @abstractmethod
+    def sleep(self, requested_s: float, now_s: float = 0.0) -> float:
+        """Realised duration for one sleep call of ``requested_s``.
+
+        ``now_s`` is the absolute time of the call; tick-quantised
+        timers use it to align wakeups with the system tick, which makes
+        consecutive sleeps phase-correlated (a real effect that keeps
+        Windows bit periods near-deterministic despite the coarse tick).
+        """
+
+    @property
+    @abstractmethod
+    def minimum_reliable_sleep_s(self) -> float:
+        """Below this, realised sleeps become highly variable (paper: ~10 us)."""
+
+
+class UnixUsleep(SleepTimer):
+    """``usleep``/``nanosleep`` on Linux and macOS.
+
+    Realised sleep = requested + fixed syscall overhead + a gamma-shaped
+    positive tail.  Requests below ~10 us (scaled) mostly measure the
+    overhead, making the realised duration highly variable relative to
+    the request - the paper's observed lower bound for SLEEP_PERIOD.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        time_scale: float = 1.0,
+        overhead_s: float = 4e-6,
+        jitter_scale_s: float = 4e-6,
+    ):
+        super().__init__(rng, time_scale)
+        self.overhead_s = overhead_s * time_scale
+        self.jitter_scale_s = jitter_scale_s * time_scale
+
+    @property
+    def minimum_reliable_sleep_s(self) -> float:
+        return 10e-6 * self.time_scale
+
+    def sleep(self, requested_s: float, now_s: float = 0.0) -> float:
+        if requested_s < 0:
+            raise ValueError("cannot sleep a negative duration")
+        tail = float(self._rng.gamma(shape=1.5, scale=self.jitter_scale_s))
+        return requested_s + self.overhead_s + tail
+
+
+class WindowsSleep(SleepTimer):
+    """``Sleep()`` on Windows: quantised to the system timer tick.
+
+    The realised sleep ends at the first expiry of the free-running
+    system tick at or after ``now + requested``.  With the multimedia
+    timer resolution raised (``timeBeginPeriod``), the tick is 0.5-1 ms;
+    this quantisation is what caps the Windows laptops in Table II just
+    below 1 kbps.  Because wakeups land *on* tick edges, consecutive
+    sleep/compute cycles become phase-locked to the tick, which keeps
+    the realised bit periods nearly deterministic - matching the low
+    BERs the paper measures on the Windows machines despite their much
+    coarser timer.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        time_scale: float = 1.0,
+        tick_s: float = 0.5e-3,
+        jitter_scale_s: float = 8e-6,
+    ):
+        super().__init__(rng, time_scale)
+        self.tick_s = tick_s * time_scale
+        self.jitter_scale_s = jitter_scale_s * time_scale
+
+    @property
+    def minimum_reliable_sleep_s(self) -> float:
+        return self.tick_s
+
+    def sleep(self, requested_s: float, now_s: float = 0.0) -> float:
+        if requested_s < 0:
+            raise ValueError("cannot sleep a negative duration")
+        earliest = now_s + requested_s
+        wake = float(np.ceil(earliest / self.tick_s)) * self.tick_s
+        if wake <= earliest:
+            wake += self.tick_s
+        tail = float(self._rng.gamma(shape=1.2, scale=self.jitter_scale_s))
+        return wake - now_s + tail
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """How long a busy-loop of N iterations takes on a given machine.
+
+    ``seconds_for(iterations)`` includes a multiplicative noise term for
+    microarchitectural variability (cache misses, SMIs) and a fixed
+    per-call overhead term covering the transmitter's housekeeping (file
+    read, loop setup) that the paper notes keeps the active period
+    non-zero even when LOOP_PERIOD is 0.
+    """
+
+    seconds_per_iteration: float
+    call_overhead_s: float
+    noise_rel_std: float = 0.05
+
+    def seconds_for(self, iterations: int, rng: np.random.Generator) -> float:
+        if iterations < 0:
+            raise ValueError("iteration count cannot be negative")
+        base = self.call_overhead_s + iterations * self.seconds_per_iteration
+        noise = 1.0 + self.noise_rel_std * float(rng.standard_normal())
+        return base * max(noise, 0.2)
+
+    def iterations_for(self, target_s: float) -> int:
+        """Iterations needed for an active period of roughly ``target_s``."""
+        remaining = max(target_s - self.call_overhead_s, 0.0)
+        return int(round(remaining / self.seconds_per_iteration))
+
+    def scaled(self, time_scale: float) -> "ComputeModel":
+        """Return a copy with all durations dilated by ``time_scale``."""
+        return ComputeModel(
+            seconds_per_iteration=self.seconds_per_iteration * time_scale,
+            call_overhead_s=self.call_overhead_s * time_scale,
+            noise_rel_std=self.noise_rel_std,
+        )

@@ -1,0 +1,143 @@
+"""Global simulation parameters and scaling profiles.
+
+The paper's evaluation runs on physical laptops with a ~970 kHz VRM
+switching frequency, captured by an RTL-SDR at 2.4 MS/s.  Simulating that
+chain sample-accurately is expensive, so this module defines *profiles*
+that scale the simulation while preserving the dimensionless dynamics the
+side-channel depends on:
+
+``freq_scale``
+    Divides every frequency in the analog chain (VRM switching frequency,
+    RF synthesis rate, SDR sample rate).  Used alone it leaves all timing
+    untouched, which is appropriate for slow phenomena such as keystrokes
+    (tens of milliseconds) that remain far above the STFT window length.
+
+``time_scale``
+    Multiplies every duration in the digital chain (sleep periods, timer
+    jitter, interrupt lengths) *and* divides the frequencies by the same
+    factor, so the number of carrier cycles and samples per transmitted
+    bit is invariant.  A covert-channel link simulated with
+    ``time_scale=100`` behaves identically to the paper-scale link; its
+    measured transmission rate is multiplied back by ``time_scale`` when
+    reporting paper-scale numbers.
+
+Three stock profiles are provided:
+
+* :data:`PAPER`   - full scale, matches the paper's measurement setup.
+* :data:`REDUCED` - ``time_scale=10``; default for benchmark runs.
+* :data:`TINY`    - ``time_scale=100``; default for unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: VRM switching frequency observed on the paper's flagship laptop (Hz).
+PAPER_VRM_FREQUENCY_HZ = 970e3
+
+#: RTL-SDR v3 maximum stable sample rate used in the paper (samples/s).
+PAPER_SDR_SAMPLE_RATE_HZ = 2.4e6
+
+#: Rate at which the physical (real-valued) EM waveform is synthesised.
+#: Chosen as 4x the SDR rate so decimation is a clean integer factor and
+#: the VRM's first harmonic (2*f0 = 1.94 MHz) is well below Nyquist.
+PAPER_RF_SAMPLE_RATE_HZ = 4 * PAPER_SDR_SAMPLE_RATE_HZ
+
+#: FFT length used by the paper's receiver.
+PAPER_FFT_SIZE = 1024
+
+#: Paper transmitter defaults (seconds).
+PAPER_SLEEP_PERIOD_UNIX_S = 100e-6
+PAPER_SLEEP_PERIOD_WINDOWS_S = 1e-3
+
+#: Speed of light (m/s), used by the near-field propagation model.
+SPEED_OF_LIGHT_M_S = 299_792_458.0
+
+
+@dataclass(frozen=True)
+class SimProfile:
+    """A self-consistent set of rates for one simulation run.
+
+    Attributes
+    ----------
+    name:
+        Human-readable profile label, echoed in experiment reports.
+    time_scale:
+        Dilation factor for all digital-side durations (>= 1).
+    freq_scale:
+        Extra division factor for analog-side frequencies, applied on top
+        of ``time_scale``.  Keystroke experiments use ``freq_scale`` only.
+    """
+
+    name: str
+    time_scale: float = 1.0
+    freq_scale: float = 1.0
+
+    @property
+    def total_freq_divisor(self) -> float:
+        """Combined divisor applied to every analog frequency."""
+        return self.time_scale * self.freq_scale
+
+    @property
+    def vrm_frequency_hz(self) -> float:
+        """VRM switching frequency for this profile."""
+        return PAPER_VRM_FREQUENCY_HZ / self.total_freq_divisor
+
+    @property
+    def rf_sample_rate_hz(self) -> float:
+        """Synthesis rate of the real-valued EM waveform."""
+        return PAPER_RF_SAMPLE_RATE_HZ / self.total_freq_divisor
+
+    @property
+    def sdr_sample_rate_hz(self) -> float:
+        """Complex baseband rate after SDR decimation."""
+        return PAPER_SDR_SAMPLE_RATE_HZ / self.total_freq_divisor
+
+    @property
+    def decimation_factor(self) -> int:
+        """Integer RF-to-SDR decimation factor (always 4 by construction)."""
+        return int(round(PAPER_RF_SAMPLE_RATE_HZ / PAPER_SDR_SAMPLE_RATE_HZ))
+
+    def dilate(self, duration_s: float) -> float:
+        """Scale a paper-quoted duration into this profile's time base."""
+        return duration_s * self.time_scale
+
+    def paper_rate(self, simulated_rate: float) -> float:
+        """Convert a rate measured in this profile back to paper scale."""
+        return simulated_rate * self.time_scale
+
+    def scaled(self, **changes) -> "SimProfile":
+        """Return a copy of this profile with the given fields replaced."""
+        return replace(self, **changes)
+
+
+#: Full paper-scale profile (expensive; used by the CLI for final runs).
+PAPER = SimProfile(name="paper", time_scale=1.0, freq_scale=1.0)
+
+#: 10x time dilation; the default for benchmark runs.
+REDUCED = SimProfile(name="reduced", time_scale=10.0, freq_scale=1.0)
+
+#: 100x time dilation; the default for unit tests.
+TINY = SimProfile(name="tiny", time_scale=100.0, freq_scale=1.0)
+
+#: Frequency-scaled (but not time-dilated) profile for keystroke runs,
+#: where event durations (>=30 ms) dwarf the STFT window even at a 100x
+#: lower carrier frequency.
+KEYLOG = SimProfile(name="keylog", time_scale=1.0, freq_scale=100.0)
+
+_PROFILES = {p.name: p for p in (PAPER, REDUCED, TINY, KEYLOG)}
+
+
+def get_profile(name: str) -> SimProfile:
+    """Look up a stock profile by name.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` does not match a stock profile.
+    """
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(_PROFILES))
+        raise KeyError(f"unknown profile {name!r}; known profiles: {known}")

@@ -1,0 +1,28 @@
+"""Processor power-management substrate: P/C-states, governors, PMU."""
+
+from .governor import DvfsGovernor, OndemandGovernor, SpeedShiftGovernor
+from .idle import MenuIdleGovernor
+from .pmu import PMU
+from .states import CState, PState, PowerStateTable, default_table
+from .workload import (
+    alternating_workload,
+    burst_workload,
+    constant_workload,
+    idle_workload,
+)
+
+__all__ = [
+    "CState",
+    "DvfsGovernor",
+    "MenuIdleGovernor",
+    "OndemandGovernor",
+    "PMU",
+    "PState",
+    "PowerStateTable",
+    "SpeedShiftGovernor",
+    "alternating_workload",
+    "burst_workload",
+    "constant_workload",
+    "default_table",
+    "idle_workload",
+]

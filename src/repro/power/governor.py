@@ -1,0 +1,174 @@
+"""DVFS governors: policies that pick the P-state while the core runs.
+
+Two policies from the paper's background section are modelled:
+
+* :class:`SpeedShiftGovernor` - hardware-controlled P-states (Intel
+  Speed Shift / HWP, Skylake onwards): the hardware ramps toward the
+  target P-state in microsecond-scale steps.
+* :class:`OndemandGovernor` - OS-controlled P-states (pre-Skylake): the
+  OS samples utilisation on a coarse period (default 10 ms) and jumps to
+  the highest frequency when busy, decaying when idle.
+
+A governor is a small state machine consumed by :class:`repro.power.pmu.PMU`;
+for each active interval it returns the P-state schedule as a list of
+``(time, p_index)`` change points.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Tuple
+
+from .states import PowerStateTable
+
+PStateSchedule = List[Tuple[float, int]]
+
+
+class DvfsGovernor(ABC):
+    """Base class for P-state selection policies."""
+
+    def __init__(self, table: PowerStateTable):
+        self.table = table
+        self._lowest = len(table.p_states) - 1
+        self._current = self._lowest
+
+    def reset(self) -> None:
+        """Return to the lowest-performance P-state (cold start)."""
+        self._current = self._lowest
+
+    @property
+    def current_p_state(self) -> int:
+        return self._current
+
+    @abstractmethod
+    def on_active(self, start: float, end: float, level: float) -> PStateSchedule:
+        """Plan P-state changes for an active interval.
+
+        Returns the schedule of ``(time, p_index)`` change points; the
+        first entry must be at ``start``.  Implementations must leave
+        ``self._current`` at the P-state in force at ``end``.
+        """
+
+    @abstractmethod
+    def on_idle(self, start: float, end: float) -> int:
+        """Account for an idle gap; returns the parked P-state."""
+
+
+class SpeedShiftGovernor(DvfsGovernor):
+    """Hardware P-state control with fast, stepped ramps.
+
+    The hardware walks one P-state per ``step_interval_s`` toward the
+    target.  Under full load the target is P0; light load targets a
+    mid-table state.  On idle entry the P-state parks at the lowest
+    operating point almost immediately.
+    """
+
+    def __init__(
+        self,
+        table: PowerStateTable,
+        step_interval_s: float = 5e-6,
+        hold_s: float = 1e-3,
+    ):
+        super().__init__(table)
+        if step_interval_s <= 0:
+            raise ValueError("step interval must be positive")
+        self.step_interval_s = step_interval_s
+        self.hold_s = hold_s
+
+    def _target_for(self, level: float) -> int:
+        if level >= 0.75:
+            return 0
+        if level >= 0.25:
+            return max(0, self._lowest // 2)
+        return self._lowest
+
+    def on_active(self, start: float, end: float, level: float) -> PStateSchedule:
+        target = self._target_for(level)
+        schedule: PStateSchedule = [(start, self._current)]
+        t = start
+        p = self._current
+        while p != target:
+            t += self.step_interval_s
+            if t >= end:
+                break
+            p += -1 if target < p else 1
+            schedule.append((t, p))
+        self._current = p
+        return schedule
+
+    def on_idle(self, start: float, end: float) -> int:
+        # The hardware holds the operating point across short idle gaps
+        # (its utilisation filter works on ~ms timescales) and only
+        # parks the rail at the lowest point for longer idleness.
+        if end - start >= self.hold_s:
+            self._current = self._lowest
+        return self._current
+
+
+class OndemandGovernor(DvfsGovernor):
+    """OS-driven P-state control with a coarse sampling period.
+
+    Mirrors Linux's classic ``ondemand`` policy: every ``sampling_s`` the
+    OS inspects utilisation since the last sample; above ``up_threshold``
+    it jumps straight to P0, otherwise it steps down one state.  Between
+    samples the P-state is constant, which is why pre-Skylake systems
+    react to bursty loads on millisecond timescales only.
+    """
+
+    def __init__(
+        self,
+        table: PowerStateTable,
+        sampling_s: float = 10e-3,
+        up_threshold: float = 0.80,
+    ):
+        super().__init__(table)
+        if sampling_s <= 0:
+            raise ValueError("sampling period must be positive")
+        self.sampling_s = sampling_s
+        self.up_threshold = up_threshold
+        self._busy_since_sample = 0.0
+        self._next_sample = sampling_s
+
+    def reset(self) -> None:
+        super().reset()
+        self._busy_since_sample = 0.0
+        self._next_sample = self.sampling_s
+
+    def _sample(self, now: float) -> int:
+        """Run pending sampling decisions up to ``now``.
+
+        Mirrors classic ondemand: jump straight to the top frequency
+        when utilisation crosses ``up_threshold``, drop straight to the
+        bottom when the sample was (nearly) idle, otherwise step down
+        one state.  The direct drop is ondemand's powersave bias and is
+        what lets P-states alone modulate the VRM when C-states are
+        disabled (Section III).
+        """
+        while self._next_sample <= now:
+            util = self._busy_since_sample / self.sampling_s
+            if util >= self.up_threshold:
+                self._current = 0
+            elif util <= 0.3:
+                self._current = self._lowest
+            elif self._current < self._lowest:
+                self._current += 1
+            self._busy_since_sample = 0.0
+            self._next_sample += self.sampling_s
+        return self._current
+
+    def on_active(self, start: float, end: float, level: float) -> PStateSchedule:
+        schedule: PStateSchedule = [(start, self._sample(start))]
+        t = start
+        while self._next_sample < end:
+            boundary = self._next_sample
+            self._busy_since_sample += (boundary - t) * level
+            p = self._sample(boundary)
+            if p != schedule[-1][1]:
+                schedule.append((boundary, p))
+            t = boundary
+        self._busy_since_sample += (end - t) * level
+        return schedule
+
+    def on_idle(self, start: float, end: float) -> int:
+        self._sample(end)
+        return self._current

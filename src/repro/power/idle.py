@@ -1,0 +1,80 @@
+"""C-state idle governor.
+
+When the processor goes idle the OS (or, on recent parts, the hardware)
+must guess how long the idle period will last and pick a C-state whose
+wake-up cost is justified.  The paper notes that the real selection
+algorithm is undocumented and generation-specific; we model the widely
+described "menu governor" shape: predict the idle length, derate the
+prediction, and choose the deepest state whose target residency fits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .states import CState, PowerStateTable
+
+
+class MenuIdleGovernor:
+    """Pick a C-state for each idle period.
+
+    Parameters
+    ----------
+    table:
+        The processor's power-state table.
+    prediction_noise:
+        Standard deviation of the multiplicative log-normal error applied
+        to the true idle length, modelling the governor's imperfect
+        predictor.  0 disables the noise.
+    latency_tolerance_s:
+        Upper bound on acceptable exit latency (a QoS constraint); states
+        with a larger exit latency are never chosen.
+    rng:
+        NumPy random generator (required when ``prediction_noise > 0``).
+    """
+
+    def __init__(
+        self,
+        table: PowerStateTable,
+        prediction_noise: float = 0.25,
+        latency_tolerance_s: float = 2e-3,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if prediction_noise < 0:
+            raise ValueError("prediction noise cannot be negative")
+        self.table = table
+        self.prediction_noise = prediction_noise
+        self.latency_tolerance_s = latency_tolerance_s
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def predict(self, true_idle_s: float) -> float:
+        """The governor's (noisy) estimate of the upcoming idle length."""
+        if self.prediction_noise == 0.0:
+            return true_idle_s
+        factor = float(
+            np.exp(self._rng.normal(0.0, self.prediction_noise))
+        )
+        return true_idle_s * factor
+
+    def select(self, true_idle_s: float) -> CState:
+        """Choose the C-state for an idle period of the given length.
+
+        Always returns at least C0's shallowest idle sibling when any
+        non-running state exists (the table may have been restricted to
+        C0 only, in which case C0 is returned and the "idle" period is
+        actually the OS spinning in its idle loop).
+        """
+        candidates = [c for c in self.table.c_states if c.index > 0]
+        if not candidates:
+            return self.table.c_states[0]
+        predicted = self.predict(true_idle_s)
+        chosen = candidates[0]
+        for c in candidates:
+            if (
+                c.target_residency_s <= predicted
+                and c.exit_latency_s <= self.latency_tolerance_s
+            ):
+                chosen = c
+        return chosen

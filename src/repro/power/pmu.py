@@ -1,0 +1,105 @@
+"""The power management unit: activity in, power-state residencies out.
+
+This is the digital half of the side-channel: the PMU converts what the
+*software* does (run / sleep) into what the *package* does (P/C-state
+residencies), which the VRM then turns into load-dependent switching
+activity.  Section III of the paper shows the channel exists whenever the
+processor can move between at least one high-power and one low-power
+state - C-states, P-states, or both - and disappears (the emission
+becomes continuously strong) only when both are pinned.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..types import ActivityTrace, PowerStateTrace, StateResidency
+from .governor import DvfsGovernor, SpeedShiftGovernor
+from .idle import MenuIdleGovernor
+from .states import PowerStateTable
+
+
+class PMU:
+    """Convert an :class:`~repro.types.ActivityTrace` into power states.
+
+    Parameters
+    ----------
+    table:
+        The processor's P/C-state table (possibly restricted via
+        :meth:`~repro.power.states.PowerStateTable.restrict` to reproduce
+        the BIOS-disable experiments).
+    governor:
+        DVFS policy; defaults to :class:`SpeedShiftGovernor`.
+    idle_governor:
+        C-state policy; defaults to :class:`MenuIdleGovernor`.
+    """
+
+    def __init__(
+        self,
+        table: PowerStateTable,
+        governor: Optional[DvfsGovernor] = None,
+        idle_governor: Optional[MenuIdleGovernor] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.table = table
+        rng = rng if rng is not None else np.random.default_rng(1)
+        self.governor = governor if governor is not None else SpeedShiftGovernor(table)
+        self.idle_governor = (
+            idle_governor
+            if idle_governor is not None
+            else MenuIdleGovernor(table, rng=rng)
+        )
+
+    @property
+    def c_states_enabled(self) -> bool:
+        return len(self.table.c_states) > 1
+
+    @property
+    def p_states_enabled(self) -> bool:
+        return len(self.table.p_states) > 1
+
+    def run(self, trace: ActivityTrace) -> PowerStateTrace:
+        """Walk the activity trace and emit power-state residencies."""
+        self.governor.reset()
+        residencies: List[StateResidency] = []
+        cursor = 0.0
+        for interval in trace.intervals:
+            if interval.start > cursor:
+                self._emit_idle(residencies, cursor, interval.start)
+            self._emit_active(
+                residencies, interval.start, interval.end, interval.level
+            )
+            cursor = interval.end
+        if trace.duration > cursor:
+            self._emit_idle(residencies, cursor, trace.duration)
+        return PowerStateTrace(residencies, trace.duration)
+
+    def _emit_idle(self, out: List[StateResidency], start: float, end: float) -> None:
+        """Append residencies covering an idle gap ``[start, end)``."""
+        parked_p = self.governor.on_idle(start, end)
+        if not self.c_states_enabled:
+            # C-states disabled: the OS spins in its idle loop, so the
+            # package stays in C0 and keeps drawing active current - the
+            # paper's "continuously strong spikes" observation.
+            out.append(StateResidency(start, end, parked_p, 0))
+            return
+        c = self.idle_governor.select(end - start)
+        entry_end = min(start + c.entry_latency_s, end)
+        if entry_end > start:
+            # The entry transition is spent in the shallowest idle state.
+            shallow = self.table.c_states[1].index
+            out.append(StateResidency(start, entry_end, parked_p, shallow))
+        if end > entry_end:
+            out.append(StateResidency(entry_end, end, parked_p, c.index))
+
+    def _emit_active(
+        self, out: List[StateResidency], start: float, end: float, level: float
+    ) -> None:
+        """Append C0 residencies for an active interval, split at P changes."""
+        schedule = self.governor.on_active(start, end, level)
+        for i, (t, p) in enumerate(schedule):
+            seg_end = schedule[i + 1][0] if i + 1 < len(schedule) else end
+            if seg_end > t:
+                out.append(StateResidency(t, seg_end, p, 0))

@@ -1,0 +1,165 @@
+"""P-state and C-state definitions.
+
+Models Intel's Demand Based Switching nomenclature described in the
+paper's Section II: *P-states* trade performance for energy while the
+processor is running (P0 is the fastest), and *C-states* are idle states
+with increasing levels of clock/power gating (C0 is "running"; deeper
+states save more power but take longer to wake from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class PState:
+    """One performance state: a voltage/frequency operating point."""
+
+    index: int
+    frequency_hz: float
+    voltage_v: float
+    active_current_a: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("P-state index must be non-negative")
+        if self.frequency_hz <= 0 or self.voltage_v <= 0:
+            raise ValueError("P-state frequency and voltage must be positive")
+
+
+@dataclass(frozen=True)
+class CState:
+    """One idle state.
+
+    Attributes
+    ----------
+    index:
+        0 for C0 (running); larger numbers are deeper idle states.
+    idle_current_a:
+        Residual current drawn from the VRM while resident.
+    entry_latency_s / exit_latency_s:
+        Time to enter / wake from the state.
+    target_residency_s:
+        Minimum profitable residency; the idle governor will not choose
+        this state for an expected idle period shorter than this.
+    gates_voltage:
+        True for states (C4+) that also lower the VID voltage, not just
+        stop the clock.
+    """
+
+    index: int
+    idle_current_a: float
+    entry_latency_s: float
+    exit_latency_s: float
+    target_residency_s: float
+    gates_voltage: bool = False
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("C-state index must be non-negative")
+        if self.idle_current_a < 0:
+            raise ValueError("idle current cannot be negative")
+
+
+@dataclass(frozen=True)
+class PowerStateTable:
+    """The full set of P- and C-states exposed by one processor.
+
+    ``p_states`` must be ordered P0, P1, ... (descending performance);
+    ``c_states`` must be ordered C0, C1, ... (increasing depth).
+    """
+
+    p_states: Sequence[PState]
+    c_states: Sequence[CState]
+
+    def __post_init__(self) -> None:
+        for i, p in enumerate(self.p_states):
+            if p.index != i:
+                raise ValueError("p_states must be contiguous from P0")
+        indices = [c.index for c in self.c_states]
+        if not indices or indices[0] != 0:
+            raise ValueError("c_states must start at C0")
+        if sorted(indices) != indices or len(set(indices)) != len(indices):
+            raise ValueError("c_states must be strictly increasing")
+
+    @property
+    def deepest_c_state(self) -> CState:
+        return self.c_states[-1]
+
+    def p_state(self, index: int) -> PState:
+        return self.p_states[index]
+
+    def c_state(self, index: int) -> CState:
+        for c in self.c_states:
+            if c.index == index:
+                return c
+        raise KeyError(f"no C{index} in table")
+
+    def current_a(self, p_index: int, c_index: int) -> float:
+        """Load current drawn from the VRM in a (P, C) pair.
+
+        In C0 the current is the P-state's active current; in any idle
+        state it is the C-state's residual current (the P-state then only
+        determines the parked voltage).
+        """
+        if c_index == 0:
+            return self.p_state(p_index).active_current_a
+        return self.c_state(c_index).idle_current_a
+
+    def voltage_v(self, p_index: int, c_index: int) -> float:
+        """VID voltage requested from the VRM in a (P, C) pair."""
+        base = self.p_state(p_index).voltage_v
+        if c_index == 0:
+            return base
+        c = self.c_state(c_index)
+        if c.gates_voltage:
+            # Voltage-gating C-states park the rail at a retention level.
+            return min(base, 0.65)
+        return base
+
+    def restrict(self, *, allow_c: bool = True, allow_p: bool = True) -> "PowerStateTable":
+        """Return a table with C- and/or P-states disabled (BIOS knobs).
+
+        Disabling C-states leaves only C0 (the OS "idles" by spinning);
+        disabling P-states pins the core at P0.  This reproduces the
+        Section III BIOS experiments.
+        """
+        p_states = self.p_states if allow_p else self.p_states[:1]
+        c_states = self.c_states if allow_c else self.c_states[:1]
+        return PowerStateTable(tuple(p_states), tuple(c_states))
+
+
+def default_table(
+    *,
+    max_frequency_hz: float = 3.4e9,
+    n_p_states: int = 8,
+    max_current_a: float = 16.0,
+    deep_idle_current_a: float = 0.15,
+) -> PowerStateTable:
+    """Build a representative laptop power-state table.
+
+    P-state voltage/frequency points follow the near-linear V-f relation
+    of commodity parts (0.7 V at the lowest point up to ~1.15 V at P0);
+    active current scales roughly with f * V^2.
+    """
+    if n_p_states < 1:
+        raise ValueError("need at least one P-state")
+    p_states: List[PState] = []
+    for i in range(n_p_states):
+        frac = 1.0 - i / max(n_p_states, 1) * 0.65
+        freq = max_frequency_hz * frac
+        volt = 0.70 + 0.45 * frac
+        current = max_current_a * frac * (volt / 1.15) ** 2
+        p_states.append(
+            PState(index=i, frequency_hz=freq, voltage_v=volt, active_current_a=current)
+        )
+    c_states = (
+        CState(0, max_current_a, 0.0, 0.0, 0.0),
+        CState(1, 1.2, 1e-6, 2e-6, 4e-6),
+        CState(2, 0.8, 5e-6, 10e-6, 30e-6),
+        CState(3, 0.5, 10e-6, 30e-6, 80e-6, gates_voltage=False),
+        CState(6, deep_idle_current_a, 30e-6, 80e-6, 300e-6, gates_voltage=True),
+    )
+    return PowerStateTable(tuple(p_states), c_states)

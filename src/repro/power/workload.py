@@ -1,0 +1,88 @@
+"""Workload sources: activity traces for experiments.
+
+These generate :class:`~repro.types.ActivityTrace` objects representing
+the software side of the micro-benchmarks in the paper: Figure 1's
+active/idle alternation loop, constant load, and fully idle systems.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..types import ActivityTrace, Interval
+
+
+def idle_workload(duration: float) -> ActivityTrace:
+    """A completely idle system for ``duration`` seconds."""
+    return ActivityTrace([], duration)
+
+
+def constant_workload(duration: float, level: float = 1.0) -> ActivityTrace:
+    """A core pinned at the given utilisation for ``duration`` seconds."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    return ActivityTrace([Interval(0.0, duration, level)], duration)
+
+
+def alternating_workload(
+    duration: float,
+    active_s: float,
+    idle_s: float,
+    *,
+    jitter: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> ActivityTrace:
+    """Figure 1's micro-benchmark: busy for ``t1``, idle for ``t2``, repeat.
+
+    Parameters
+    ----------
+    duration:
+        Total trace length in seconds.
+    active_s / idle_s:
+        The paper's ``t1`` and ``t2`` knobs.
+    jitter:
+        Relative standard deviation applied to each period length,
+        modelling loop-count and sleep variability.  0 means exact.
+    """
+    if active_s <= 0 or idle_s <= 0:
+        raise ValueError("active and idle periods must be positive")
+    if jitter < 0:
+        raise ValueError("jitter cannot be negative")
+    rng = rng if rng is not None else np.random.default_rng(2)
+    intervals: List[Interval] = []
+    t = 0.0
+    while t < duration - 1e-12:
+        a = active_s * (1.0 + jitter * float(rng.standard_normal())) if jitter else active_s
+        a = max(a, active_s * 0.1)
+        end = min(t + a, duration)
+        intervals.append(Interval(t, end))
+        i = idle_s * (1.0 + jitter * float(rng.standard_normal())) if jitter else idle_s
+        i = max(i, idle_s * 0.1)
+        t = end + i
+    return ActivityTrace(intervals, duration)
+
+
+def burst_workload(
+    duration: float,
+    burst_times: List[float],
+    burst_length_s: float,
+    level: float = 1.0,
+) -> ActivityTrace:
+    """Short bursts of activity at given times (keystrokes, interrupts).
+
+    Overlapping bursts are merged.
+    """
+    edges = []
+    for t in sorted(burst_times):
+        start = max(0.0, t)
+        end = min(duration, t + burst_length_s)
+        if end <= start:
+            continue
+        if edges and start <= edges[-1][1]:
+            edges[-1] = (edges[-1][0], max(edges[-1][1], end))
+        else:
+            edges.append((start, end))
+    intervals = [Interval(a, b, level) for a, b in edges]
+    return ActivityTrace(intervals, duration)

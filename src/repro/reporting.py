@@ -1,0 +1,58 @@
+"""Report generation: experiment results to Markdown.
+
+``python -m repro run ... --output report.md`` writes the regenerated
+tables into a single Markdown document, so a full reproduction run
+leaves a reviewable artifact next to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .experiments.common import ExperimentResult, _format
+
+
+def result_to_markdown(result: ExperimentResult) -> str:
+    """One experiment as a Markdown section with a pipe table."""
+    lines = [f"## {result.experiment_id}: {result.title}", ""]
+    cols = result.columns()
+    if result.rows:
+        lines.append("| " + " | ".join(cols) + " |")
+        lines.append("|" + "|".join("---" for _ in cols) + "|")
+        for row in result.rows:
+            lines.append(
+                "| "
+                + " | ".join(_format(row.get(c, "")) for c in cols)
+                + " |"
+            )
+        lines.append("")
+    for note in result.notes:
+        lines.append(f"> {note}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def results_to_markdown(
+    results: Sequence[ExperimentResult],
+    title: str = "Reproduction report",
+    preamble: str = "",
+) -> str:
+    """A full report document for a batch of experiments."""
+    parts: List[str] = [f"# {title}", ""]
+    if preamble:
+        parts.extend([preamble, ""])
+    for result in results:
+        parts.append(result_to_markdown(result))
+    return "\n".join(parts)
+
+
+def write_report(
+    results: Sequence[ExperimentResult],
+    path: str,
+    title: str = "Reproduction report",
+    preamble: str = "",
+) -> None:
+    """Write the Markdown report to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(results_to_markdown(results, title, preamble))
+        handle.write("\n")

@@ -1,0 +1,6 @@
+"""Software-defined radio substrate."""
+
+from .frontend import decimate, mix_to_baseband
+from .rtlsdr import RtlSdrV3
+
+__all__ = ["RtlSdrV3", "decimate", "mix_to_baseband"]

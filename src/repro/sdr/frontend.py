@@ -1,0 +1,59 @@
+"""SDR front-end signal path: mixing and decimation.
+
+A direct-conversion receiver model: the real antenna voltage is mixed
+with a complex local oscillator at the tuned frequency, low-pass
+filtered, and decimated to the output sample rate.  Kept separate from
+the RTL-SDR device model so alternative receivers can reuse it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sps
+
+
+def mix_to_baseband(
+    waveform: np.ndarray,
+    sample_rate: float,
+    center_frequency: float,
+    oscillator_offset_hz: float = 0.0,
+    phase: float = 0.0,
+) -> np.ndarray:
+    """Complex-downconvert a real waveform.
+
+    Parameters
+    ----------
+    waveform:
+        Real-valued antenna voltage samples.
+    sample_rate:
+        Input sample rate in Hz.
+    center_frequency:
+        Frequency translated to DC.
+    oscillator_offset_hz:
+        LO error (e.g. crystal ppm offset); shifts the whole spectrum.
+    """
+    if sample_rate <= 0:
+        raise ValueError("sample rate must be positive")
+    n = np.arange(waveform.size)
+    lo_freq = center_frequency + oscillator_offset_hz
+    lo = np.exp(-2j * np.pi * lo_freq * n / sample_rate + 1j * phase)
+    return waveform.astype(np.float64) * lo
+
+
+def decimate(
+    baseband: np.ndarray, factor: int, numtaps: int = 129
+) -> np.ndarray:
+    """Low-pass filter and decimate complex baseband by ``factor``.
+
+    Uses a linear-phase FIR with cutoff at 80% of the output Nyquist so
+    adjacent-band energy (e.g. the image of the VRM's second harmonic)
+    is suppressed before downsampling.
+    """
+    if factor < 1:
+        raise ValueError("decimation factor must be >= 1")
+    if factor == 1:
+        return baseband
+    cutoff = 0.8 / factor
+    taps = sps.firwin(numtaps, cutoff)
+    filtered = sps.fftconvolve(baseband, taps, mode="same")
+    return filtered[::factor]

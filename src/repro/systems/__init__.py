@@ -1,0 +1,25 @@
+"""Target system configurations (the paper's Table I laptops)."""
+
+from .laptops import (
+    DELL_INSPIRON,
+    DELL_PRECISION,
+    LENOVO_THINKPAD,
+    MACBOOK_2015,
+    MACBOOK_2018,
+    SONY_ULTRABOOK,
+    TABLE_I,
+    Machine,
+    by_name,
+)
+
+__all__ = [
+    "DELL_INSPIRON",
+    "DELL_PRECISION",
+    "LENOVO_THINKPAD",
+    "MACBOOK_2015",
+    "MACBOOK_2018",
+    "Machine",
+    "SONY_ULTRABOOK",
+    "TABLE_I",
+    "by_name",
+]

@@ -1,0 +1,215 @@
+"""The paper's Table I target systems.
+
+Each :class:`Machine` bundles the per-laptop models: power-state table,
+VRM design, OS sleep timer, busy-loop compute model and interrupt
+profile.  Values are representative of each platform class rather than
+measured: what matters for reproduction is the *structure* - which OS
+family (sleep granularity), which DVFS control style (architecture
+generation), and a per-machine VRM switching frequency in the paper's
+250 kHz - 1 MHz range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..osmodel.interrupts import NOISY, QUIET, InterruptProfile
+from ..osmodel.timers import ComputeModel, SleepTimer, UnixUsleep, WindowsSleep
+from ..params import SimProfile
+from ..power.governor import DvfsGovernor, OndemandGovernor, SpeedShiftGovernor
+from ..power.states import PowerStateTable, default_table
+from ..vrm.buck import BuckDesign
+
+#: Architectures with hardware P-state control (Intel Speed Shift).
+#: Matched case-insensitively (the paper's Table I spells "SkyLake").
+_SPEED_SHIFT_ARCHS = {"skylake", "kaby lake", "coffee lake"}
+
+
+@dataclass(frozen=True)
+class Machine:
+    """One target laptop.
+
+    Attributes
+    ----------
+    name / vendor / os_name / architecture:
+        Table I identity columns.
+    vrm_frequency_hz:
+        This laptop's VRM switching frequency (paper scale).
+    sleep_period_s:
+        The transmitter's SLEEP_PERIOD on this machine (paper scale).
+        Roughly 100-150 us on the Unix laptops; on Windows the quantum
+        of the raised multimedia timer (0.5 ms).  Chosen together with
+        active_period_s so one-bits and zero-bits have equal duration,
+        as the paper prescribes (active ~ realised idle).
+    active_period_s:
+        Target busy-loop duration per '1' bit; tuned so active and idle
+        periods have roughly equal length as in the paper.
+    emission_strength:
+        Relative emission amplitude (board layout/shielding differences
+        between vendors).
+    interrupt_profile:
+        This machine's asynchronous-activity population.
+    """
+
+    name: str
+    vendor: str
+    os_name: str
+    architecture: str
+    vrm_frequency_hz: float
+    sleep_period_s: float
+    active_period_s: float
+    emission_strength: float = 1.0
+    max_current_a: float = 16.0
+    interrupt_profile: InterruptProfile = QUIET
+
+    @property
+    def is_windows(self) -> bool:
+        return self.os_name.startswith("Windows")
+
+    @property
+    def uses_speed_shift(self) -> bool:
+        return self.architecture.lower() in _SPEED_SHIFT_ARCHS
+
+    def power_table(
+        self, *, allow_c: bool = True, allow_p: bool = True
+    ) -> PowerStateTable:
+        """This machine's P/C-state table, with optional BIOS restriction."""
+        table = default_table(max_current_a=self.max_current_a)
+        return table.restrict(allow_c=allow_c, allow_p=allow_p)
+
+    def governor(self, table: PowerStateTable, profile: SimProfile) -> DvfsGovernor:
+        """DVFS policy matching the architecture generation."""
+        if self.uses_speed_shift:
+            return SpeedShiftGovernor(
+                table,
+                step_interval_s=profile.dilate(5e-6),
+                hold_s=profile.dilate(1e-3),
+            )
+        return OndemandGovernor(table, sampling_s=profile.dilate(10e-3))
+
+    def sleep_timer(
+        self, rng: np.random.Generator, profile: SimProfile
+    ) -> SleepTimer:
+        """The OS sleep primitive: usleep() or Sleep()."""
+        if self.is_windows:
+            return WindowsSleep(rng, time_scale=profile.time_scale)
+        return UnixUsleep(rng, time_scale=profile.time_scale)
+
+    def compute_model(self, profile: SimProfile) -> ComputeModel:
+        """Busy-loop timing for this machine."""
+        base = ComputeModel(
+            seconds_per_iteration=2e-9, call_overhead_s=12e-6, noise_rel_std=0.05
+        )
+        return base.scaled(profile.time_scale)
+
+    def buck_design(self, profile: SimProfile) -> BuckDesign:
+        """This laptop's VRM electrical design at the given profile."""
+        return BuckDesign(
+            switching_frequency_hz=self.vrm_frequency_hz / profile.total_freq_divisor,
+            max_load_a=self.max_current_a,
+        )
+
+    def scaled_sleep_period(self, profile: SimProfile) -> float:
+        return profile.dilate(self.sleep_period_s)
+
+    def scaled_active_period(self, profile: SimProfile) -> float:
+        return profile.dilate(self.active_period_s)
+
+
+def _machine(**kwargs) -> Machine:
+    return Machine(**kwargs)
+
+
+#: Table I, row by row.  ``active_period_s`` reflects how tightly each
+#: machine's transmitter could pack a bit (library overheads differ by
+#: OS/hardware); together with SLEEP_PERIOD it sets the Table II TR.
+DELL_PRECISION = _machine(
+    name="Dell Precision 7290",
+    vendor="Dell",
+    os_name="Windows 10",
+    architecture="Kaby Lake",
+    vrm_frequency_hz=985e3,
+    sleep_period_s=0.5e-3,
+    active_period_s=0.75e-3,
+    emission_strength=1.1,
+)
+
+MACBOOK_2015 = _machine(
+    name="MacBookPro-2015",
+    vendor="Apple",
+    os_name="macOS (Mojave)",
+    architecture="Broadwell",
+    vrm_frequency_hz=970e3,
+    sleep_period_s=119e-6,
+    active_period_s=141e-6,
+    emission_strength=0.8,
+    interrupt_profile=NOISY,
+)
+
+DELL_INSPIRON = _machine(
+    name="Dell Inspiron 15-3537",
+    vendor="Dell",
+    os_name="Linux (Debian)",
+    architecture="Haswell",
+    vrm_frequency_hz=970e3,
+    sleep_period_s=142e-6,
+    active_period_s=164e-6,
+    emission_strength=1.0,
+)
+
+MACBOOK_2018 = _machine(
+    name="MacBookPro-2018",
+    vendor="Apple",
+    os_name="macOS (Mojave)",
+    architecture="Coffee Lake",
+    vrm_frequency_hz=955e3,
+    sleep_period_s=121e-6,
+    active_period_s=143e-6,
+    emission_strength=0.8,
+    interrupt_profile=NOISY,
+)
+
+LENOVO_THINKPAD = _machine(
+    name="Lenovo Thinkpad",
+    vendor="Lenovo",
+    os_name="Linux (Ubuntu)",
+    architecture="SkyLake",
+    vrm_frequency_hz=990e3,
+    sleep_period_s=150e-6,
+    active_period_s=171e-6,
+    emission_strength=1.0,
+)
+
+SONY_ULTRABOOK = _machine(
+    name="Sony Ultrabook",
+    vendor="Sony",
+    os_name="Windows 8",
+    architecture="Ivy Bridge",
+    vrm_frequency_hz=940e3,
+    sleep_period_s=0.5e-3,
+    active_period_s=0.75e-3,
+    emission_strength=1.0,
+)
+
+#: All Table I machines, in the paper's row order.
+TABLE_I = (
+    DELL_PRECISION,
+    MACBOOK_2015,
+    DELL_INSPIRON,
+    MACBOOK_2018,
+    LENOVO_THINKPAD,
+    SONY_ULTRABOOK,
+)
+
+
+def by_name(name: str) -> Machine:
+    """Look up a Table I machine by (case-insensitive) name substring."""
+    matches = [m for m in TABLE_I if name.lower() in m.name.lower()]
+    if not matches:
+        known = ", ".join(m.name for m in TABLE_I)
+        raise KeyError(f"no machine matching {name!r}; known: {known}")
+    if len(matches) > 1:
+        raise KeyError(f"ambiguous machine name {name!r}")
+    return matches[0]

@@ -1,0 +1,292 @@
+"""Shared value types used across the simulation chain.
+
+Every stage of the pipeline communicates through a small number of
+explicit types:
+
+* :class:`Interval` / :class:`ActivityTrace` - what the *software* did
+  (active vs. idle periods on the processor).
+* :class:`PowerStateTrace` - what the *PMU* did (P/C-state residencies).
+* :class:`BurstTrain` - what the *VRM* did (replenishment bursts).
+* :class:`IQCapture` - what the *SDR* saw (complex baseband samples).
+
+Keeping these as plain dataclasses over NumPy arrays keeps each substrate
+independently testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+#: Activity levels for software intervals.
+IDLE = 0.0
+ACTIVE = 1.0
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open time interval ``[start, end)`` with an activity level.
+
+    ``level`` is a utilisation in ``[0, 1]``: 0 means the processor has
+    nothing to run, 1 means a core is fully busy.  Fractional levels model
+    partially loaded periods (e.g. background activity).
+    """
+
+    start: float
+    end: float
+    level: float = ACTIVE
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval ends before it starts: {self}")
+        if not 0.0 <= self.level <= 1.0:
+            raise ValueError(f"activity level outside [0, 1]: {self.level}")
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class ActivityTrace:
+    """A time-ordered, non-overlapping sequence of activity intervals.
+
+    Gaps between intervals are implicitly idle.  ``duration`` is the total
+    simulated time, which may extend past the last interval.
+    """
+
+    intervals: List[Interval]
+    duration: float
+
+    def __post_init__(self) -> None:
+        prev_end = 0.0
+        for iv in self.intervals:
+            if iv.start < prev_end - 1e-12:
+                raise ValueError(
+                    f"intervals overlap or are unsorted near t={iv.start}"
+                )
+            prev_end = iv.end
+        if self.intervals and self.duration < self.intervals[-1].end - 1e-9:
+            raise ValueError("trace duration shorter than last interval")
+
+    def levels_at(self, times: np.ndarray) -> np.ndarray:
+        """Sample the activity level at each of ``times`` (vectorised)."""
+        times = np.asarray(times, dtype=float)
+        levels = np.zeros_like(times)
+        if not self.intervals:
+            return levels
+        starts = np.array([iv.start for iv in self.intervals])
+        ends = np.array([iv.end for iv in self.intervals])
+        vals = np.array([iv.level for iv in self.intervals])
+        idx = np.searchsorted(starts, times, side="right") - 1
+        valid = idx >= 0
+        inside = np.zeros_like(valid)
+        inside[valid] = times[valid] < ends[idx[valid]]
+        levels[inside] = vals[idx[inside]]
+        return levels
+
+    def merged_with(self, other: "ActivityTrace") -> "ActivityTrace":
+        """Combine two traces by summing activity (clipped to 1.0).
+
+        Used to mix transmitter activity with background/system activity.
+        The result is re-segmented at every boundary of either trace.
+        """
+        duration = max(self.duration, other.duration)
+        edges = {0.0, duration}
+        for trace in (self, other):
+            for iv in trace.intervals:
+                edges.add(iv.start)
+                edges.add(iv.end)
+        cuts = sorted(edges)
+        mids = np.array([(a + b) / 2 for a, b in zip(cuts[:-1], cuts[1:])])
+        if mids.size == 0:
+            return ActivityTrace([], duration)
+        combined = np.clip(self.levels_at(mids) + other.levels_at(mids), 0, 1)
+        intervals = [
+            Interval(a, b, float(level))
+            for a, b, level in zip(cuts[:-1], cuts[1:], combined)
+            if level > 0.0 and b > a
+        ]
+        return ActivityTrace(intervals, duration)
+
+    @property
+    def busy_time(self) -> float:
+        """Total level-weighted active time in seconds."""
+        return sum(iv.duration * iv.level for iv in self.intervals)
+
+
+@dataclass(frozen=True)
+class StateResidency:
+    """One residency in a (P-state, C-state) pair over ``[start, end)``."""
+
+    start: float
+    end: float
+    p_state: int
+    c_state: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class PowerStateTrace:
+    """Sequence of power-state residencies covering ``[0, duration)``."""
+
+    residencies: List[StateResidency]
+    duration: float
+
+    def current_draw(self, current_table) -> "PiecewiseConstant":
+        """Map residencies to load current using a per-state lookup.
+
+        ``current_table`` is a callable ``(p_state, c_state) -> amps``.
+        """
+        starts = np.array([r.start for r in self.residencies])
+        values = np.array(
+            [current_table(r.p_state, r.c_state) for r in self.residencies]
+        )
+        return PiecewiseConstant(starts, values, self.duration)
+
+    def voltage(self, voltage_table) -> "PiecewiseConstant":
+        """Map residencies to requested VID voltage."""
+        starts = np.array([r.start for r in self.residencies])
+        values = np.array(
+            [voltage_table(r.p_state, r.c_state) for r in self.residencies]
+        )
+        return PiecewiseConstant(starts, values, self.duration)
+
+    def time_in_c_state(self, c_state: int) -> float:
+        """Total time spent in the given C-state."""
+        return sum(r.duration for r in self.residencies if r.c_state == c_state)
+
+
+@dataclass
+class PiecewiseConstant:
+    """A piecewise-constant function of time.
+
+    ``starts`` must be sorted ascending and begin at 0.0; segment ``i``
+    holds ``values[i]`` from ``starts[i]`` until ``starts[i + 1]`` (or
+    ``duration`` for the last segment).
+    """
+
+    starts: np.ndarray
+    values: np.ndarray
+    duration: float
+
+    def __post_init__(self) -> None:
+        self.starts = np.asarray(self.starts, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.starts.size != self.values.size:
+            raise ValueError("starts and values must have equal length")
+        if self.starts.size and self.starts[0] > 1e-12:
+            raise ValueError("first segment must start at t=0")
+        if np.any(np.diff(self.starts) < 0):
+            raise ValueError("segment starts must be sorted")
+
+    def at(self, times: np.ndarray) -> np.ndarray:
+        """Sample the function at each of ``times``."""
+        times = np.asarray(times, dtype=float)
+        if self.starts.size == 0:
+            return np.zeros_like(times)
+        idx = np.clip(
+            np.searchsorted(self.starts, times, side="right") - 1,
+            0,
+            self.starts.size - 1,
+        )
+        return self.values[idx]
+
+    def segments(self) -> List[Tuple[float, float, float]]:
+        """Return ``(start, end, value)`` triples for every segment."""
+        out = []
+        for i in range(self.starts.size):
+            end = self.starts[i + 1] if i + 1 < self.starts.size else self.duration
+            out.append((float(self.starts[i]), float(end), float(self.values[i])))
+        return out
+
+
+@dataclass
+class BurstTrain:
+    """The VRM's replenishment bursts: times, charge, and output voltage.
+
+    Attributes
+    ----------
+    times:
+        Burst centre times in seconds, sorted ascending.
+    charges:
+        Charge replenished by each burst (coulombs).  Proportional to the
+        burst's peak current and hence to its EM field contribution.
+    voltages:
+        VRM output voltage during each burst (volts); P-state dependent.
+    duration:
+        Total simulated time in seconds.
+    switching_period:
+        The VRM's nominal switching period ``T`` in seconds.
+    """
+
+    times: np.ndarray
+    charges: np.ndarray
+    voltages: np.ndarray
+    duration: float
+    switching_period: float
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.charges = np.asarray(self.charges, dtype=float)
+        self.voltages = np.asarray(self.voltages, dtype=float)
+        if not (self.times.size == self.charges.size == self.voltages.size):
+            raise ValueError("times, charges, voltages must align")
+        if np.any(np.diff(self.times) < 0):
+            raise ValueError("burst times must be sorted")
+
+    @property
+    def count(self) -> int:
+        return int(self.times.size)
+
+
+@dataclass
+class IQCapture:
+    """Complex baseband samples out of the SDR front end.
+
+    Attributes
+    ----------
+    samples:
+        Complex64 array of IQ samples.
+    sample_rate:
+        Samples per second.
+    center_frequency:
+        RF frequency the SDR was tuned to (Hz).
+    """
+
+    samples: np.ndarray
+    sample_rate: float
+    center_frequency: float
+
+    @property
+    def duration(self) -> float:
+        """Capture length in seconds."""
+        return self.samples.size / self.sample_rate
+
+    def baseband_offset(self, rf_frequency: float) -> float:
+        """Where an RF tone lands in baseband (Hz, signed)."""
+        return rf_frequency - self.center_frequency
+
+
+@dataclass(frozen=True)
+class Keystroke:
+    """One keystroke event: press time, release time, and the key."""
+
+    press_time: float
+    release_time: float
+    key: str
+
+    def __post_init__(self) -> None:
+        if self.release_time < self.press_time:
+            raise ValueError("key released before it was pressed")
+
+    @property
+    def dwell(self) -> float:
+        """How long the key was held down, in seconds."""
+        return self.release_time - self.press_time

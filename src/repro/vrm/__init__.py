@@ -1,0 +1,7 @@
+"""Voltage regulator module substrate: buck converter, VID, emission."""
+
+from .buck import BuckConverter, BuckDesign
+from .emission import EmissionModel
+from .vid import VidInterface
+
+__all__ = ["BuckConverter", "BuckDesign", "EmissionModel", "VidInterface"]

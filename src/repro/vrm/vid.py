@@ -1,0 +1,65 @@
+"""Voltage Identification (VID) interface.
+
+The processor tells the VRM which output voltage to produce through the
+VID signals; the VRM slews to the new target at a finite rate.  The
+requested voltage follows the active P-state (and drops to a retention
+level in voltage-gating C-states), so the VID trace is itself a
+power-state side channel, though a weaker one than the burst-rate
+modulation this paper exploits.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..types import PiecewiseConstant
+
+
+class VidInterface:
+    """Applies a slew-rate limit to requested voltage changes.
+
+    Parameters
+    ----------
+    slew_v_per_s:
+        Maximum voltage slew rate (typical parts manage ~10 mV/us).
+    """
+
+    def __init__(self, slew_v_per_s: float = 10e3):
+        if slew_v_per_s <= 0:
+            raise ValueError("slew rate must be positive")
+        self.slew_v_per_s = slew_v_per_s
+
+    def apply(self, requested: PiecewiseConstant) -> PiecewiseConstant:
+        """Return the realised output voltage as a piecewise approximation.
+
+        Each VID step is replaced by a short ramp approximated with a
+        small number of sub-steps, so downstream consumers can keep using
+        the piecewise-constant representation.
+        """
+        segs = requested.segments()
+        if not segs:
+            return requested
+        starts: List[float] = []
+        values: List[float] = []
+        current_v = segs[0][2]
+        for start, end, target in segs:
+            if not starts:
+                starts.append(0.0)
+                values.append(current_v)
+            if abs(target - current_v) < 1e-9:
+                current_v = target
+                continue
+            ramp_time = abs(target - current_v) / self.slew_v_per_s
+            ramp_time = min(ramp_time, max(end - start, 1e-12))
+            n_sub = 4
+            for i in range(1, n_sub + 1):
+                t = start + ramp_time * i / n_sub
+                v = current_v + (target - current_v) * i / n_sub
+                starts.append(min(t, end))
+                values.append(v)
+            current_v = values[-1]
+        return PiecewiseConstant(
+            np.array(starts), np.array(values), requested.duration
+        )

@@ -1,0 +1,121 @@
+"""Tests for the Figure 9 baseline channel models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AcousticChannel,
+    AirHopperChannel,
+    DfsChannel,
+    FuntennaChannel,
+    GSMemChannel,
+    PowertChannel,
+    ThermalChannel,
+    USBeeChannel,
+    all_baselines,
+)
+
+
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestGenericBehaviour:
+    @pytest.mark.parametrize("channel", all_baselines(), ids=lambda c: c.name)
+    def test_ber_increases_with_rate(self, channel):
+        lo_rate = channel.rate_bracket[0] * 2
+        hi_rate = channel.rate_bracket[1] / 2
+        ber_lo = channel.ber_at_rate(lo_rate, rng(), n_bits=3000)
+        ber_hi = channel.ber_at_rate(hi_rate, rng(), n_bits=3000)
+        assert ber_hi >= ber_lo
+
+    @pytest.mark.parametrize("channel", all_baselines(), ids=lambda c: c.name)
+    def test_ber_bounded(self, channel):
+        ber = channel.ber_at_rate(100.0, rng(), n_bits=1000)
+        assert 0.0 <= ber <= 0.6
+
+    @pytest.mark.parametrize("channel", all_baselines(), ids=lambda c: c.name)
+    def test_max_rate_within_bracket(self, channel):
+        rate = channel.max_rate(rng=rng(), n_bits=800, iterations=10)
+        lo, hi = channel.rate_bracket
+        assert lo <= rate <= hi
+
+
+class TestReportedBands:
+    """Each baseline must land in the band its paper reported."""
+
+    def test_gsmem_near_1kbps(self):
+        rate = GSMemChannel().max_rate(rng=rng())
+        assert 700 < rate < 1700
+
+    def test_usbee_near_640bps(self):
+        rate = USBeeChannel().max_rate(rng=rng())
+        assert 400 < rate < 1000
+
+    def test_airhopper_near_480bps(self):
+        rate = AirHopperChannel().max_rate(rng=rng())
+        assert 250 < rate < 700
+
+    def test_powert_near_185bps(self):
+        rate = PowertChannel().max_rate(rng=rng())
+        assert 100 < rate < 300
+
+    def test_dfs_tens_of_bps(self):
+        rate = DfsChannel().max_rate(rng=rng())
+        assert 20 < rate < 200
+
+    def test_acoustic_tens_of_bps(self):
+        rate = AcousticChannel().max_rate(rng=rng())
+        assert 10 < rate < 80
+
+    def test_funtenna_tens_of_bps(self):
+        rate = FuntennaChannel().max_rate(rng=rng())
+        assert 5 < rate < 80
+
+    def test_thermal_single_digit_bps(self):
+        rate = ThermalChannel().max_rate(rng=rng())
+        assert 0.2 < rate < 10
+
+
+class TestOrdering:
+    def test_gsmem_is_fastest_baseline(self):
+        rates = {
+            ch.name: ch.max_rate(rng=rng(), n_bits=1500, iterations=12)
+            for ch in all_baselines()
+        }
+        assert max(rates, key=rates.get) == "GSMem"
+
+    def test_thermal_is_slowest(self):
+        rates = {
+            ch.name: ch.max_rate(rng=rng(), n_bits=1500, iterations=12)
+            for ch in all_baselines()
+        }
+        assert min(rates, key=rates.get) == "Thermal"
+
+
+class TestMechanisms:
+    def test_thermal_limited_by_time_constant(self):
+        fast_package = ThermalChannel(time_constant_s=0.1)
+        slow_package = ThermalChannel(time_constant_s=2.0)
+        assert fast_package.max_rate(rng=rng()) > slow_package.max_rate(
+            rng=rng()
+        )
+
+    def test_usbee_cannot_beat_frame_rate(self):
+        ch = USBeeChannel()
+        assert ch.ber_at_rate(2000.0, rng()) == pytest.approx(0.5)
+
+    def test_dfs_limited_by_governor_period(self):
+        fast_gov = DfsChannel(governor_period_s=1e-3)
+        slow_gov = DfsChannel(governor_period_s=50e-3)
+        assert fast_gov.max_rate(rng=rng()) > slow_gov.max_rate(rng=rng())
+
+    def test_powert_improves_with_modulation_depth(self):
+        shallow = PowertChannel(modulation_depth=0.02)
+        deep = PowertChannel(modulation_depth=0.2)
+        assert deep.max_rate(rng=rng()) > shallow.max_rate(rng=rng())
+
+    def test_acoustic_limited_by_reverb(self):
+        dry_room = AcousticChannel(reverb_decay_s=5e-3)
+        wet_room = AcousticChannel(reverb_decay_s=200e-3)
+        assert dry_room.max_rate(rng=rng()) > wet_room.max_rate(rng=rng())

@@ -1,0 +1,43 @@
+"""Shared fixtures.
+
+Expensive end-to-end artifacts (a decoded covert-channel run, a typed
+keystroke capture) are built once per session and shared by the tests
+that only need to *inspect* them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.covert.link import CovertLink
+from repro.params import TINY
+from repro.systems.laptops import DELL_INSPIRON
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_profile():
+    return TINY
+
+
+@pytest.fixture(scope="session")
+def link_result():
+    """One decoded near-field covert run (Dell Inspiron, 100 bits)."""
+    payload = np.random.default_rng(99).integers(0, 2, size=100)
+    link = CovertLink(machine=DELL_INSPIRON, profile=TINY, seed=5)
+    return link.run(payload)
+
+
+@pytest.fixture(scope="session")
+def keylog_artifacts():
+    """One typed session: (keystrokes, capture, experiment)."""
+    from repro.keylog.evaluate import KeylogExperiment
+
+    exp = KeylogExperiment(seed=2)
+    keystrokes, capture = exp.type_and_capture("the quick brown fox")
+    return keystrokes, capture, exp

@@ -1,0 +1,98 @@
+"""Tests for insertion/deletion-aware bit alignment."""
+
+import numpy as np
+import pytest
+
+from repro.core.align import ChannelMetrics, align_bits
+
+
+class TestExactCases:
+    def test_identical_streams(self):
+        m = align_bits([1, 0, 1, 1], [1, 0, 1, 1])
+        assert (m.bit_errors, m.insertions, m.deletions) == (0, 0, 0)
+
+    def test_single_substitution(self):
+        m = align_bits([1, 0, 1, 1], [1, 1, 1, 1])
+        assert m.bit_errors == 1
+        assert m.insertions == 0
+        assert m.deletions == 0
+
+    def test_single_deletion(self):
+        m = align_bits([1, 0, 1, 1, 0], [1, 0, 1, 0])
+        assert m.deletions == 1
+        assert m.bit_errors == 0
+
+    def test_single_insertion(self):
+        m = align_bits([1, 0, 1, 0], [1, 0, 1, 1, 0])
+        assert m.insertions == 1
+        assert m.bit_errors == 0
+
+    def test_mixed_operations(self):
+        tx = [1, 1, 0, 0, 1, 0, 1, 1]
+        rx = [1, 0, 0, 1, 1, 0, 1, 1, 0]  # one sub region + one insert
+        m = align_bits(tx, rx)
+        assert m.insertions >= 1
+        assert m.bit_errors + m.insertions + m.deletions <= 4
+
+    def test_empty_tx(self):
+        m = align_bits([], [1, 0])
+        assert m.insertions == 2
+        assert m.received == 2
+
+    def test_empty_rx(self):
+        m = align_bits([1, 0, 1], [])
+        assert m.deletions == 3
+
+
+class TestRates:
+    def test_ber_normalised_by_transmitted(self):
+        m = align_bits([1, 0, 1, 0], [1, 1, 1, 0])
+        assert m.ber == pytest.approx(0.25)
+
+    def test_rates_zero_when_nothing_sent(self):
+        m = ChannelMetrics(0, 0, 0, 0, 0)
+        assert m.ber == 0.0
+        assert m.insertion_probability == 0.0
+        assert m.deletion_probability == 0.0
+
+    def test_combined_pools_counts(self):
+        a = ChannelMetrics(1, 0, 2, 100, 98)
+        b = ChannelMetrics(3, 1, 0, 100, 101)
+        c = a.combined(b)
+        assert c.bit_errors == 4
+        assert c.transmitted == 200
+        assert c.deletion_probability == pytest.approx(0.01)
+
+
+class TestConsistency:
+    def test_alignment_cost_is_minimal(self):
+        # Total operations must equal the true edit distance on a case
+        # with a known optimum.
+        tx = [1, 0, 1, 0, 1, 0]
+        rx = [0, 1, 0, 1, 0]  # delete first bit: distance 1
+        m = align_bits(tx, rx)
+        assert m.bit_errors + m.insertions + m.deletions == 1
+        assert m.deletions == 1
+
+    def test_random_streams_bounded_by_lengths(self):
+        rng = np.random.default_rng(5)
+        tx = rng.integers(0, 2, size=120)
+        rx = rng.integers(0, 2, size=100)
+        m = align_bits(tx, rx)
+        assert m.deletions - m.insertions == 20
+        assert m.bit_errors <= 100
+
+    def test_burst_shift_counted_as_indel_not_errors(self):
+        rng = np.random.default_rng(6)
+        tx = rng.integers(0, 2, size=60)
+        rx = np.delete(tx, 30)  # one deletion mid-stream
+        m = align_bits(tx, rx)
+        assert m.deletions == 1
+        assert m.bit_errors == 0
+
+    def test_long_streams_complete_quickly(self):
+        rng = np.random.default_rng(7)
+        tx = rng.integers(0, 2, size=2000)
+        rx = tx.copy()
+        m = align_bits(tx, rx)
+        assert m.bit_errors == 0

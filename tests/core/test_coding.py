@@ -1,0 +1,121 @@
+"""Tests for channel coding: Hamming(7,4), parity, bit plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.coding import (
+    ParityCode,
+    as_bit_array,
+    bits_to_bytes,
+    bytes_to_bits,
+    hamming_decode,
+    hamming_encode,
+)
+
+
+class TestBitPlumbing:
+    def test_bytes_roundtrip(self):
+        data = b"\x00\xff\x5a\x13"
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_bits_msb_first(self):
+        assert bytes_to_bits(b"\x80").tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_empty_bytes(self):
+        assert bytes_to_bits(b"").size == 0
+
+    def test_partial_byte_padded(self):
+        assert bits_to_bytes(np.array([1, 0, 1])) == b"\xa0"
+
+    def test_as_bit_array_rejects_nonbinary(self):
+        with pytest.raises(ValueError, match="0 or 1"):
+            as_bit_array([0, 2, 1])
+
+    def test_as_bit_array_accepts_iterables(self):
+        assert as_bit_array((1, 0, 1)).tolist() == [1, 0, 1]
+
+
+class TestHamming:
+    def test_rate(self):
+        code = hamming_encode(np.zeros(8, dtype=int))
+        assert code.size == 14
+
+    def test_clean_roundtrip(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 2, size=64)
+        decoded, corrected = hamming_decode(hamming_encode(data))
+        assert np.array_equal(decoded, data)
+        assert corrected == 0
+
+    def test_corrects_any_single_error_per_codeword(self):
+        data = np.array([1, 0, 1, 1])
+        code = hamming_encode(data)
+        for position in range(7):
+            corrupted = code.copy()
+            corrupted[position] ^= 1
+            decoded, corrected = hamming_decode(corrupted)
+            assert np.array_equal(decoded, data), f"failed at bit {position}"
+            assert corrected == 1
+
+    def test_each_codeword_corrected_independently(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 2, size=40)  # 10 codewords
+        code = hamming_encode(data)
+        corrupted = code.copy()
+        corrupted[3] ^= 1
+        corrupted[7 * 5 + 6] ^= 1
+        decoded, corrected = hamming_decode(corrupted)
+        assert np.array_equal(decoded, data)
+        assert corrected == 2
+
+    def test_double_error_not_corrected(self):
+        data = np.array([1, 0, 1, 1])
+        corrupted = hamming_encode(data).copy()
+        corrupted[0] ^= 1
+        corrupted[1] ^= 1
+        decoded, _ = hamming_decode(corrupted)
+        assert not np.array_equal(decoded, data)
+
+    def test_minimum_distance_is_three(self):
+        codewords = [hamming_encode(np.array(
+            [int(b) for b in format(i, "04b")]
+        )) for i in range(16)]
+        for i in range(16):
+            for j in range(i + 1, 16):
+                dist = int(np.count_nonzero(codewords[i] != codewords[j]))
+                assert dist >= 3
+
+    def test_pads_partial_block(self):
+        decoded, _ = hamming_decode(hamming_encode(np.array([1, 1])))
+        assert decoded[:2].tolist() == [1, 1]
+
+    def test_trailing_partial_codeword_dropped(self):
+        code = hamming_encode(np.array([1, 0, 1, 1]))
+        decoded, _ = hamming_decode(np.concatenate([code, [1, 0, 1]]))
+        assert decoded.size == 4
+
+
+class TestParityCode:
+    def test_roundtrip(self):
+        code = ParityCode(block_size=7)
+        data = np.random.default_rng(2).integers(0, 2, size=21)
+        decoded, errors = code.decode(code.encode(data))
+        assert np.array_equal(decoded, data)
+        assert errors == 0
+
+    def test_detects_single_error(self):
+        code = ParityCode(block_size=4)
+        encoded = code.encode(np.array([1, 0, 1, 0]))
+        corrupted = encoded.copy()
+        corrupted[1] ^= 1
+        _, errors = code.decode(corrupted)
+        assert errors == 1
+
+    def test_even_parity(self):
+        code = ParityCode(block_size=3)
+        encoded = code.encode(np.array([1, 1, 0]))
+        assert encoded.sum() % 2 == 0
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            ParityCode(block_size=0)

@@ -1,0 +1,70 @@
+"""Tests for the batch decoder on the shared end-to-end capture."""
+
+import numpy as np
+import pytest
+
+from repro.core.acquisition import AcquisitionConfig
+from repro.core.align import align_bits
+from repro.core.decoder import BatchDecoder, DecoderConfig
+
+
+class TestDecodeOnRealCapture:
+    def test_recovers_most_bits(self, link_result):
+        m = link_result.metrics
+        assert m.ber < 0.02
+        assert m.insertion_probability < 0.02
+        assert m.deletion_probability < 0.03
+
+    def test_period_estimate_close_to_nominal(self, link_result):
+        d = link_result.decode
+        nominal_frames = (
+            link_result.tx_bits.size
+            and link_result.activity.duration
+            / link_result.tx_bits.size
+            * d.envelope.frame_rate
+        )
+        assert d.period_frames == pytest.approx(nominal_frames, rel=0.15)
+
+    def test_symbol_rate_property(self, link_result):
+        d = link_result.decode
+        assert d.symbol_rate_hz == pytest.approx(
+            d.envelope.frame_rate / d.period_frames
+        )
+
+    def test_thresholds_strictly_inside_power_range(self, link_result):
+        d = link_result.decode
+        for thr in d.thresholds:
+            assert d.powers.min() < thr < d.powers.max()
+
+    def test_powers_align_with_starts(self, link_result):
+        d = link_result.decode
+        assert d.powers.size == d.starts.size == d.bits.size
+
+
+class TestDecoderConfiguration:
+    def test_decode_envelope_without_expected_period(self, link_result):
+        # Bootstrap from autocorrelation: should still decode most bits.
+        decoder = BatchDecoder(vrm_frequency_hz=9.7e3)
+        result = decoder.decode_envelope(link_result.decode.envelope)
+        m = align_bits(link_result.tx_bits, result.bits)
+        assert m.ber < 0.1
+
+    def test_empty_starts_path(self):
+        from repro.core.acquisition import Envelope
+
+        decoder = BatchDecoder(vrm_frequency_hz=1e6, expected_bit_period_s=1e-3)
+        env = Envelope(np.zeros(4000), 1000.0, np.arange(4000) / 1000.0)
+        result = decoder.decode_envelope(env)
+        assert result.bits.size == 0
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            BatchDecoder(vrm_frequency_hz=0.0)
+
+    def test_rejects_tiny_batches(self):
+        with pytest.raises(ValueError):
+            DecoderConfig(batch_bits=2)
+
+    def test_default_acquisition_is_quarter_bit_window(self):
+        config = DecoderConfig()
+        assert config.acquisition.fft_size == 256

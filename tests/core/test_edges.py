@@ -1,0 +1,81 @@
+"""Tests for edge detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.acquisition import Envelope
+from repro.core.edges import (
+    EdgeConfig,
+    coarse_symbol_frames,
+    detect_bit_starts,
+    edge_response,
+)
+
+
+def square_envelope(period=40, n_periods=20, duty=0.5, noise=0.02, seed=0):
+    """A clean RZ-style envelope with known rising edges."""
+    rng = np.random.default_rng(seed)
+    n = period * n_periods
+    y = np.zeros(n)
+    for k in range(n_periods):
+        y[k * period : k * period + int(period * duty)] = 1.0
+    y += noise * rng.standard_normal(n)
+    return Envelope(samples=y, frame_rate=1000.0, times=np.arange(n) / 1000.0)
+
+
+class TestEdgeResponse:
+    def test_positive_peak_at_rising_edge(self):
+        env = square_envelope()
+        response = edge_response(env, 20)
+        peak = np.argmax(response[10:100]) + 10
+        assert abs(peak - (40 + 10)) <= 12  # near a known edge region
+
+    def test_output_length_matches_input(self):
+        env = square_envelope()
+        assert edge_response(env, 20).size == env.samples.size
+
+
+class TestDetectBitStarts:
+    def test_finds_all_edges(self):
+        env = square_envelope(n_periods=20)
+        starts = detect_bit_starts(env, expected_symbol_frames=40)
+        assert starts.size == pytest.approx(20, abs=1)
+
+    def test_consistent_spacing(self):
+        env = square_envelope()
+        starts = detect_bit_starts(env, 40)
+        spacing = np.diff(starts)
+        assert np.median(spacing) == pytest.approx(40, abs=1)
+
+    def test_prominence_rejects_noise_wiggles(self):
+        env = square_envelope(noise=0.15, seed=3)
+        starts = detect_bit_starts(env, 40)
+        # Noise must not flood the detection with spurious edges.
+        assert starts.size <= 24
+
+    def test_flat_envelope_gives_nothing(self):
+        env = Envelope(np.zeros(500), 1000.0, np.arange(500) / 1000.0)
+        assert detect_bit_starts(env, 40).size == 0
+
+    def test_rejects_bad_period(self):
+        env = square_envelope()
+        with pytest.raises(ValueError):
+            detect_bit_starts(env, 0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EdgeConfig(kernel_fraction=0)
+        with pytest.raises(ValueError):
+            EdgeConfig(min_separation_fraction=2.0)
+
+
+class TestCoarsePeriod:
+    def test_recovers_period_of_alternating_signal(self):
+        env = square_envelope(period=40, n_periods=30)
+        estimate = coarse_symbol_frames(env, max_lag_frames=200)
+        assert estimate == pytest.approx(40, abs=2)
+
+    def test_too_short_raises(self):
+        env = Envelope(np.zeros(2), 1000.0, np.zeros(2))
+        with pytest.raises(ValueError):
+            coarse_symbol_frames(env, 10)

@@ -1,0 +1,82 @@
+"""Tests for Eq. 2 power labeling."""
+
+import numpy as np
+import pytest
+
+from repro.core.acquisition import Envelope
+from repro.core.labeling import (
+    bit_average_powers,
+    label_bits,
+    label_envelope_bits,
+)
+
+
+def envelope_for_bits(bits, period=40, high=10.0, low=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    y = np.concatenate(
+        [np.full(period, high if b else low) for b in bits]
+    )
+    y += 0.1 * rng.standard_normal(y.size)
+    return Envelope(np.abs(y), 1000.0, np.arange(y.size) / 1000.0)
+
+
+class TestBitAveragePowers:
+    def test_separates_levels(self):
+        bits = [1, 0, 1, 1, 0]
+        env = envelope_for_bits(bits)
+        starts = np.arange(0, len(bits) * 40, 40)
+        powers = bit_average_powers(env, starts)
+        ones = powers[np.array(bits) == 1]
+        zeros = powers[np.array(bits) == 0]
+        assert ones.min() > 10 * zeros.max()
+
+    def test_average_immune_to_longer_zero_bits(self):
+        # Eq. 2's rationale: a zero whose period lasted longer must not
+        # accumulate over the threshold.
+        env = envelope_for_bits([1, 0], period=40)
+        starts_long_zero = np.array([0, 40])  # zero runs to the end
+        powers = bit_average_powers(env, starts_long_zero)
+        env2 = envelope_for_bits([1, 0, 0], period=40)
+        starts2 = np.array([0, 40])  # zero twice as long
+        powers2 = bit_average_powers(env2, starts2)
+        assert powers2[1] == pytest.approx(powers[1], rel=0.5)
+
+    def test_skip_fraction_excludes_housekeeping_burst(self):
+        y = np.full(100, 0.5)
+        y[:10] = 10.0  # burst at the head of a zero bit
+        env = Envelope(y, 1000.0, np.arange(100) / 1000.0)
+        with_skip = bit_average_powers(env, np.array([0]), skip_fraction=0.15)
+        without = bit_average_powers(env, np.array([0]), skip_fraction=0.0)
+        assert with_skip[0] < without[0] / 2
+
+    def test_empty_starts(self):
+        env = envelope_for_bits([1])
+        assert bit_average_powers(env, np.array([], dtype=int)).size == 0
+
+
+class TestLabelBits:
+    def test_adaptive_threshold_separates(self):
+        rng = np.random.default_rng(1)
+        powers = np.concatenate(
+            [rng.normal(1.0, 0.1, 50), rng.normal(100.0, 5.0, 50)]
+        )
+        result = label_bits(powers)
+        assert result.bits[:50].sum() == 0
+        assert result.bits[50:].sum() == 50
+
+    def test_explicit_threshold_respected(self):
+        powers = np.array([1.0, 5.0, 9.0])
+        result = label_bits(powers, threshold=4.0)
+        assert result.bits.tolist() == [0, 1, 1]
+        assert result.threshold == 4.0
+
+    def test_empty_powers(self):
+        result = label_bits(np.empty(0))
+        assert result.bits.size == 0
+
+    def test_label_envelope_bits_end_to_end(self):
+        bits = [1, 0, 1, 0, 1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0, 1]
+        env = envelope_for_bits(bits)
+        starts = np.arange(0, len(bits) * 40, 40)
+        result = label_envelope_bits(env, starts)
+        assert result.bits.tolist() == bits

@@ -1,0 +1,67 @@
+"""Tests for the top-level receive() API."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import receive
+from repro.covert.link import CovertLink
+from repro.core.coding import bits_to_bytes, bytes_to_bits
+from repro.params import TINY
+from repro.systems.laptops import DELL_INSPIRON
+
+
+@pytest.fixture(scope="module")
+def ecc_link_capture():
+    link = CovertLink(
+        machine=DELL_INSPIRON, profile=TINY, seed=21, use_ecc=True
+    )
+    payload = bytes_to_bits(b"top secret")
+    result = link.run(payload)
+    return link, payload, result
+
+
+class TestReceive:
+    def test_full_payload_recovery(self, ecc_link_capture):
+        link, payload, result = ecc_link_capture
+        rx = receive(
+            result.capture,
+            link.vrm_frequency_hz,
+            expected_bit_period_s=link.transmitter(
+                np.random.default_rng(0)
+            ).nominal_bit_duration_s(),
+        )
+        assert rx.synchronized
+        assert rx.payload_bytes[: len(b"top secret")] == b"top secret"
+
+    def test_without_period_hint(self, ecc_link_capture):
+        link, payload, result = ecc_link_capture
+        rx = receive(result.capture, link.vrm_frequency_hz)
+        assert rx.synchronized
+        recovered = rx.payload_bits[: payload.size]
+        errors = np.count_nonzero(recovered != payload[: recovered.size])
+        assert errors <= 2
+
+    def test_unsynchronised_on_noise(self):
+        from repro.types import IQCapture
+
+        rng = np.random.default_rng(0)
+        noise = (
+            rng.standard_normal(40000) + 1j * rng.standard_normal(40000)
+        ).astype(np.complex64)
+        capture = IQCapture(noise, 24000.0, 14550.0)
+        rx = receive(capture, 9700.0, expected_bit_period_s=0.03)
+        assert not rx.synchronized or rx.payload_bits.size < 8
+
+    def test_ecc_disabled_returns_raw_payload(self, ecc_link_capture):
+        link, payload, result = ecc_link_capture
+        rx = receive(
+            result.capture,
+            link.vrm_frequency_hz,
+            expected_bit_period_s=link.transmitter(
+                np.random.default_rng(0)
+            ).nominal_bit_duration_s(),
+            use_ecc=False,
+        )
+        # Without decoding, the payload is the Hamming-coded stream
+        # (7/4 expansion of the original, zero-padded).
+        assert rx.payload_bits.size >= payload.size * 7 // 4

@@ -1,0 +1,90 @@
+"""Tests for framing and preamble synchronisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.sync import (
+    DEFAULT_PREAMBLE,
+    FrameFormat,
+    locate_preamble,
+    strip_header,
+)
+
+
+class TestFrameFormat:
+    def test_header_layout(self):
+        fmt = FrameFormat(training_bits=8, zero_run=4)
+        header = fmt.header
+        assert header[:8].tolist() == [1, 0, 1, 0, 1, 0, 1, 0]
+        assert header[8:12].tolist() == [0, 0, 0, 0]
+        assert np.array_equal(header[12:], fmt.preamble)
+
+    def test_frame_appends_payload(self):
+        fmt = FrameFormat()
+        payload = np.array([1, 1, 0])
+        frame = fmt.frame(payload)
+        assert np.array_equal(frame[-3:], payload)
+        assert frame.size == fmt.header.size + 3
+
+    def test_rejects_tiny_training(self):
+        with pytest.raises(ValueError):
+            FrameFormat(training_bits=1)
+
+
+class TestLocatePreamble:
+    def test_exact_match(self):
+        bits = np.concatenate([np.zeros(10, dtype=int), DEFAULT_PREAMBLE, [1, 1]])
+        pos = locate_preamble(bits, DEFAULT_PREAMBLE)
+        assert pos == 10 + DEFAULT_PREAMBLE.size
+
+    def test_tolerates_bit_errors(self):
+        noisy = DEFAULT_PREAMBLE.copy()
+        noisy[4] ^= 1
+        bits = np.concatenate([np.zeros(7, dtype=int), noisy, [0, 1]])
+        pos = locate_preamble(bits, DEFAULT_PREAMBLE, max_errors=2)
+        assert pos == 7 + DEFAULT_PREAMBLE.size
+
+    def test_rejects_beyond_error_budget(self):
+        noisy = DEFAULT_PREAMBLE.copy()
+        noisy[:4] ^= 1
+        bits = np.concatenate([np.zeros(7, dtype=int), noisy])
+        assert locate_preamble(bits, DEFAULT_PREAMBLE, max_errors=1) is None
+
+    def test_stream_shorter_than_preamble(self):
+        assert locate_preamble(np.array([1, 0]), DEFAULT_PREAMBLE) is None
+
+    def test_search_from_skips_early_matches(self):
+        bits = np.concatenate(
+            [DEFAULT_PREAMBLE, np.zeros(5, dtype=int), DEFAULT_PREAMBLE]
+        )
+        pos = locate_preamble(bits, DEFAULT_PREAMBLE, search_from=3)
+        assert pos == bits.size
+
+
+class TestStripHeader:
+    def test_clean_roundtrip(self):
+        fmt = FrameFormat()
+        payload = np.random.default_rng(0).integers(0, 2, size=40)
+        recovered = strip_header(fmt.frame(payload), fmt)
+        assert np.array_equal(recovered, payload)
+
+    def test_survives_header_bit_errors(self):
+        fmt = FrameFormat()
+        payload = np.array([1, 0, 1, 1, 0, 0, 1])
+        frame = fmt.frame(payload)
+        frame[2] ^= 1  # training-sequence error
+        frame[fmt.header.size - 3] ^= 1  # preamble error
+        recovered = strip_header(frame, fmt)
+        assert np.array_equal(recovered, payload)
+
+    def test_survives_deleted_header_bit(self):
+        fmt = FrameFormat()
+        payload = np.random.default_rng(1).integers(0, 2, size=30)
+        frame = np.delete(fmt.frame(payload), 5)
+        recovered = strip_header(frame, fmt)
+        assert recovered is not None
+        assert np.array_equal(recovered, payload)
+
+    def test_no_preamble_returns_none(self):
+        fmt = FrameFormat()
+        assert strip_header(np.zeros(100, dtype=int), fmt) is None

@@ -1,0 +1,110 @@
+"""Tests for signal timing: widths, signaling time, gap filling."""
+
+import numpy as np
+import pytest
+
+from repro.core.timing import (
+    analyze_pulse_widths,
+    drop_spurious_starts,
+    fill_missing_starts,
+    pulse_widths,
+    signaling_time,
+)
+
+
+class TestPulseWidths:
+    def test_diffs(self):
+        assert pulse_widths(np.array([0, 10, 25])).tolist() == [10, 15]
+
+    def test_too_few_starts(self):
+        assert pulse_widths(np.array([5])).size == 0
+
+    def test_analyze_requires_two(self):
+        with pytest.raises(ValueError):
+            analyze_pulse_widths(np.array([3]))
+
+    def test_analyze_reports_positive_skew(self):
+        rng = np.random.default_rng(0)
+        widths = 100 + rng.rayleigh(10, size=500)
+        starts = np.concatenate([[0], np.cumsum(widths)])
+        stats = analyze_pulse_widths(starts)
+        assert stats.skewness > 0
+        assert stats.median == pytest.approx(np.median(widths))
+
+
+class TestSignalingTime:
+    def test_clean_periodic_starts(self):
+        starts = np.arange(0, 1000, 20)
+        assert signaling_time(starts) == pytest.approx(20.0)
+
+    def test_robust_to_missed_edges(self):
+        # Half the edges missing: raw median would be 2 periods.
+        rng = np.random.default_rng(1)
+        starts = np.arange(0, 4000, 20.0)
+        keep = rng.random(starts.size) > 0.5
+        keep[:10] = True  # keep a clean run so the small cluster exists
+        estimate = signaling_time(starts[keep])
+        assert estimate == pytest.approx(20.0, rel=0.1)
+
+    def test_hint_anchors_cluster(self):
+        starts = np.concatenate([np.arange(0, 200, 20.0), [400, 800, 1200]])
+        assert signaling_time(starts, hint=20.0) == pytest.approx(20.0)
+
+    def test_requires_two_starts(self):
+        with pytest.raises(ValueError):
+            signaling_time(np.array([1.0]))
+
+
+class TestFillMissing:
+    def test_fills_double_gap(self):
+        starts = np.array([0, 20, 60, 80])  # missing one at 40
+        filled = fill_missing_starts(starts, 20.0, 100)
+        assert 40 in filled.tolist()
+
+    def test_fills_multiple_missing(self):
+        starts = np.array([0, 80])
+        filled = fill_missing_starts(starts, 20.0, 100)
+        assert filled.tolist() == [0, 20, 40, 60, 80]
+
+    def test_leaves_ambiguous_gap_alone(self):
+        starts = np.array([0.0, 20.0, 51.0, 71.0])  # 31 = 1.55 periods
+        filled = fill_missing_starts(starts, 20.0, 100)
+        assert filled.size == starts.size
+
+    def test_backfills_leading_gap(self):
+        starts = np.array([40, 60, 80])
+        filled = fill_missing_starts(starts, 20.0, 100)
+        assert filled[0] in (0, 20)
+        assert 20 in filled.tolist()
+
+    def test_fills_trailing_gap(self):
+        starts = np.array([0, 20, 40])
+        filled = fill_missing_starts(starts, 20.0, 101)
+        assert filled.max() >= 60
+
+    def test_clips_to_total_frames(self):
+        starts = np.array([0, 20])
+        filled = fill_missing_starts(starts, 20.0, 30)
+        assert filled.max() < 30
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            fill_missing_starts(np.array([0, 20]), 0.0, 100)
+
+
+class TestDropSpurious:
+    def test_drops_double_detection(self):
+        starts = np.array([0, 3, 20, 40])
+        kept = drop_spurious_starts(starts, 20.0)
+        assert kept.tolist() == [0, 20, 40]
+
+    def test_keeps_legitimate_starts(self):
+        starts = np.array([0, 20, 40])
+        assert drop_spurious_starts(starts, 20.0).tolist() == [0, 20, 40]
+
+    def test_empty_input(self):
+        assert drop_spurious_starts(np.array([]), 20.0).size == 0
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            drop_spurious_starts(np.array([0.0]), -1.0)

@@ -1,0 +1,59 @@
+"""Tests for adaptive rate control."""
+
+import numpy as np
+import pytest
+
+from repro.chain import paper_tuned_frequency_hz, tuned_frequency_hz
+from repro.covert.adaptive import find_max_rate, total_error_rate
+from repro.covert.link import CovertLink
+from repro.em.environment import distance_scenario
+from repro.params import TINY
+from repro.systems.laptops import DELL_INSPIRON
+
+
+class TestFindMaxRate:
+    def test_clean_channel_keeps_full_rate(self):
+        link = CovertLink(profile=TINY, seed=51)
+        result = find_max_rate(link, probe_bits=80)
+        assert result.best_rate_scale == 1.0
+        assert result.converged
+
+    def test_noisy_channel_backs_off(self):
+        # The through-wall link fails at full rate but passes once the
+        # symbol clock is slowed (Table III's manual procedure).
+        from repro.em.environment import through_wall_scenario
+
+        machine = DELL_INSPIRON
+        scenario = through_wall_scenario(
+            tuned_frequency_hz(machine, TINY),
+            physics_frequency_hz=paper_tuned_frequency_hz(machine),
+        )
+        link = CovertLink(profile=TINY, seed=52, scenario=scenario)
+        result = find_max_rate(
+            link, target_error_rate=0.08, probe_bits=100
+        )
+        assert result.converged
+        assert result.best_rate_scale < 1.0
+        assert len(result.probes) >= 2
+
+    def test_probe_history_recorded(self):
+        link = CovertLink(profile=TINY, seed=53)
+        result = find_max_rate(link, probe_bits=80)
+        assert all(p.transmission_rate_bps > 0 for p in result.probes)
+
+    def test_validation(self):
+        link = CovertLink(profile=TINY)
+        with pytest.raises(ValueError):
+            find_max_rate(link, min_scale=0.0)
+        with pytest.raises(ValueError):
+            find_max_rate(link, min_scale=0.9, max_scale=0.5)
+        with pytest.raises(ValueError):
+            find_max_rate(link, grid_points=1)
+
+
+class TestTotalErrorRate:
+    def test_combines_three_components(self):
+        link = CovertLink(profile=TINY, seed=54)
+        payload = np.random.default_rng(0).integers(0, 2, size=60)
+        rate = total_error_rate(link, payload)
+        assert 0.0 <= rate < 0.2

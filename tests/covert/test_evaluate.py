@@ -1,0 +1,45 @@
+"""Tests for the channel evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.covert.evaluate import ChannelEvaluation, evaluate_link
+from repro.covert.link import CovertLink
+from repro.params import TINY
+
+
+@pytest.fixture(scope="module")
+def evaluation():
+    link = CovertLink(profile=TINY, seed=1)
+    return evaluate_link(link, bits_per_run=60, n_runs=2)
+
+
+class TestEvaluateLink:
+    def test_pools_all_runs(self, evaluation):
+        assert len(evaluation.runs) == 2
+        total_tx = sum(r.tx_bits.size for r in evaluation.runs)
+        assert evaluation.metrics.transmitted == total_tx
+
+    def test_rates_averaged(self, evaluation):
+        rates = [r.transmission_rate_bps for r in evaluation.runs]
+        assert evaluation.transmission_rate_bps == pytest.approx(
+            np.mean(rates)
+        )
+
+    def test_label_defaults_to_machine(self, evaluation):
+        assert "Inspiron" in evaluation.label
+
+    def test_row_serialisation(self, evaluation):
+        row = evaluation.row()
+        assert set(row) == {"label", "BER", "TR_bps", "IP", "DP"}
+
+    def test_runs_use_distinct_payloads(self, evaluation):
+        a, b = evaluation.runs
+        assert not np.array_equal(a.tx_bits, b.tx_bits)
+
+    def test_validation(self):
+        link = CovertLink(profile=TINY)
+        with pytest.raises(ValueError):
+            evaluate_link(link, bits_per_run=4)
+        with pytest.raises(ValueError):
+            evaluate_link(link, bits_per_run=60, n_runs=0)

@@ -1,0 +1,97 @@
+"""Tests for the end-to-end covert link."""
+
+import numpy as np
+import pytest
+
+from repro.covert.link import CovertLink
+from repro.em.environment import distance_scenario
+from repro.params import TINY
+from repro.systems.laptops import DELL_INSPIRON, DELL_PRECISION
+
+
+class TestLinkBasics:
+    def test_default_scenario_is_near_field(self):
+        link = CovertLink(profile=TINY)
+        assert link.scenario.name == "near-field-10cm"
+
+    def test_tuned_between_harmonics(self):
+        link = CovertLink(profile=TINY)
+        assert link.tuned_frequency_hz == pytest.approx(
+            1.5 * link.vrm_frequency_hz
+        )
+
+    def test_paper_tuned_frequency_ignores_profile(self):
+        link = CovertLink(profile=TINY)
+        assert link.paper_tuned_frequency_hz == pytest.approx(
+            1.5 * DELL_INSPIRON.vrm_frequency_hz
+        )
+
+    def test_run_produces_consistent_artifacts(self, link_result):
+        assert link_result.capture.duration == pytest.approx(
+            link_result.activity.duration, rel=0.02
+        )
+        assert link_result.tx_bits.size > 100
+
+    def test_transmission_rate_in_paper_band(self, link_result):
+        assert 2500 < link_result.transmission_rate_bps < 4500
+
+    def test_deterministic_given_seed(self):
+        payload = np.random.default_rng(0).integers(0, 2, size=40)
+        r1 = CovertLink(profile=TINY, seed=9).run(payload)
+        r2 = CovertLink(profile=TINY, seed=9).run(payload)
+        assert np.array_equal(r1.decode.bits, r2.decode.bits)
+
+    def test_different_seeds_differ(self):
+        payload = np.random.default_rng(0).integers(0, 2, size=40)
+        r1 = CovertLink(profile=TINY, seed=1).run(payload)
+        r2 = CovertLink(profile=TINY, seed=2).run(payload)
+        assert r1.activity.duration != r2.activity.duration
+
+
+class TestRateScale:
+    def test_rate_scale_slows_transmission(self):
+        payload = np.random.default_rng(0).integers(0, 2, size=40)
+        fast = CovertLink(profile=TINY, seed=3).run(payload)
+        slow = CovertLink(profile=TINY, seed=3, rate_scale=0.5).run(payload)
+        assert slow.transmission_rate_bps < 0.7 * fast.transmission_rate_bps
+
+    def test_rejects_bad_rate_scale(self):
+        link = CovertLink(profile=TINY, rate_scale=-1.0)
+        with pytest.raises(ValueError):
+            link.run(np.array([1, 0]))
+
+
+class TestWindowsLink:
+    def test_windows_machine_runs_slower_but_clean(self):
+        payload = np.random.default_rng(0).integers(0, 2, size=60)
+        result = CovertLink(
+            machine=DELL_PRECISION, profile=TINY, seed=4
+        ).run(payload)
+        assert result.transmission_rate_bps < 1000
+        assert result.metrics.ber < 0.02
+
+
+class TestBiosKnobs:
+    def test_disabling_both_states_kills_channel(self):
+        payload = np.random.default_rng(0).integers(0, 2, size=60)
+        link = CovertLink(
+            profile=TINY,
+            seed=5,
+            allow_c_states=False,
+            allow_p_states=False,
+        )
+        result = link.run(payload)
+        # No modulation: the receiver cannot recover the stream.
+        assert result.metrics.ber > 0.2 or result.decode.bits.size < 30
+
+
+class TestScenarioInjection:
+    def test_custom_scenario_respected(self):
+        link0 = CovertLink(profile=TINY)
+        scen = distance_scenario(
+            2.5,
+            link0.tuned_frequency_hz,
+            physics_frequency_hz=link0.paper_tuned_frequency_hz,
+        )
+        link = CovertLink(profile=TINY, scenario=scen)
+        assert link.scenario.name == "los-2.5m"

@@ -1,0 +1,83 @@
+"""Tests for the Figure 3 transmitter model."""
+
+import numpy as np
+import pytest
+
+from repro.core.sync import FrameFormat
+from repro.covert.transmitter import Transmitter, TransmitterConfig, frame_payload
+from repro.osmodel.timers import ComputeModel, UnixUsleep, WindowsSleep
+
+
+def make_transmitter(sleep=100e-6, active=150e-6, seed=0, timer_cls=UnixUsleep):
+    rng = np.random.default_rng(seed)
+    return Transmitter(
+        TransmitterConfig(sleep_period_s=sleep, active_period_s=active),
+        timer=timer_cls(rng),
+        compute=ComputeModel(2e-9, 12e-6, noise_rel_std=0.02),
+        rng=rng,
+    )
+
+
+class TestBitShapes:
+    def test_one_bit_has_long_active_period(self):
+        tx = make_transmitter()
+        trace = tx.transmit([1])
+        assert trace.intervals[0].duration == pytest.approx(150e-6, rel=0.2)
+
+    def test_zero_bit_has_housekeeping_blip_only(self):
+        tx = make_transmitter()
+        trace = tx.transmit([0])
+        assert trace.intervals[0].duration < 30e-6
+
+    def test_zero_bit_sleeps_twice_as_long(self):
+        tx1 = make_transmitter(seed=1)
+        one = tx1.transmit([1])
+        tx0 = make_transmitter(seed=1)
+        zero = tx0.transmit([0])
+        one_idle = one.duration - one.intervals[0].duration
+        zero_idle = zero.duration - zero.intervals[0].duration
+        assert zero_idle == pytest.approx(2 * one_idle, rel=0.25)
+
+    def test_every_bit_emits_one_interval(self):
+        tx = make_transmitter()
+        bits = np.random.default_rng(2).integers(0, 2, size=50)
+        trace = tx.transmit(bits)
+        assert len(trace.intervals) == 50
+
+    def test_loop_iterations_positive(self):
+        assert make_transmitter().loop_iterations > 0
+
+
+class TestNominalDuration:
+    def test_close_to_realised_mean(self):
+        tx = make_transmitter(seed=3)
+        bits = np.tile([1, 0], 50)
+        trace = tx.transmit(bits)
+        realised = trace.duration / bits.size
+        assert tx.nominal_bit_duration_s() == pytest.approx(realised, rel=0.1)
+
+    def test_windows_nominal_reflects_tick_rounding(self):
+        tx = make_transmitter(
+            sleep=0.5e-3, active=0.75e-3, timer_cls=WindowsSleep
+        )
+        nominal = tx.nominal_bit_duration_s()
+        # Tick quantisation pushes the realised bit well beyond the sum
+        # of the requested periods.
+        assert nominal > 1.2e-3
+
+
+class TestFramePayload:
+    def test_header_prepended(self):
+        fmt = FrameFormat()
+        frame = frame_payload([1, 0, 1, 0], fmt, use_ecc=False)
+        assert np.array_equal(frame[: fmt.header.size], fmt.header)
+
+    def test_ecc_expands_payload(self):
+        fmt = FrameFormat()
+        raw = frame_payload([1, 0, 1, 0], fmt, use_ecc=False)
+        coded = frame_payload([1, 0, 1, 0], fmt, use_ecc=True)
+        assert coded.size == raw.size + 3  # 4 bits -> 7 bits
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TransmitterConfig(sleep_period_s=0.0, active_period_s=1e-4)

@@ -1,0 +1,99 @@
+"""Tests for peak detection and bimodal thresholding."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.detection import bimodal_threshold, histogram_modes, local_maxima
+
+
+class TestLocalMaxima:
+    def test_finds_isolated_peaks(self):
+        x = np.zeros(100)
+        x[[20, 60]] = 1.0
+        assert local_maxima(x).tolist() == [20, 60]
+
+    def test_min_distance_thins(self):
+        x = np.zeros(100)
+        x[20] = 1.0
+        x[24] = 0.9
+        peaks = local_maxima(x, min_distance=10)
+        assert peaks.tolist() == [20]
+
+    def test_min_height_filters(self):
+        x = np.zeros(100)
+        x[20] = 1.0
+        x[60] = 0.1
+        peaks = local_maxima(x, min_height=0.5)
+        assert peaks.tolist() == [20]
+
+    def test_rejects_bad_distance(self):
+        with pytest.raises(ValueError):
+            local_maxima(np.zeros(10), min_distance=0)
+
+
+class TestHistogramModes:
+    def test_two_well_separated_modes(self):
+        rng = np.random.default_rng(0)
+        values = np.concatenate(
+            [rng.normal(1.0, 0.1, 500), rng.normal(5.0, 0.1, 500)]
+        )
+        _, _, modes = histogram_modes(values)
+        assert len(modes) >= 2
+        tops = sorted(modes[:2])
+        assert tops[0] == pytest.approx(1.0, abs=0.3)
+        assert tops[1] == pytest.approx(5.0, abs=0.3)
+
+    def test_boundary_mode_detected(self):
+        # A very tight lobe in the lowest bin must still register (the
+        # MacBook regression: find_peaks skips boundary bins).
+        rng = np.random.default_rng(1)
+        values = np.concatenate(
+            [np.full(500, 0.001), rng.normal(100.0, 10.0, 500)]
+        )
+        _, _, modes = histogram_modes(values)
+        assert min(modes[:2]) < 10.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            histogram_modes(np.empty(0))
+
+
+class TestBimodalThreshold:
+    def test_threshold_between_modes(self):
+        rng = np.random.default_rng(2)
+        values = np.concatenate(
+            [rng.normal(1.0, 0.2, 400), rng.normal(9.0, 0.5, 400)]
+        )
+        thr = bimodal_threshold(values)
+        assert 2.0 < thr < 8.0
+
+    def test_separates_perfectly_separable_lobes(self):
+        rng = np.random.default_rng(3)
+        lo = rng.normal(1.0, 0.05, 300)
+        hi = rng.normal(10.0, 0.3, 300)
+        thr = bimodal_threshold(np.concatenate([lo, hi]))
+        assert np.all(lo < thr)
+        assert np.all(hi > thr)
+
+    def test_unbalanced_lobes(self):
+        rng = np.random.default_rng(4)
+        values = np.concatenate(
+            [rng.normal(1.0, 0.1, 900), rng.normal(10.0, 0.3, 100)]
+        )
+        thr = bimodal_threshold(values)
+        assert 2.0 < thr < 9.0
+
+    def test_unimodal_fallback_is_finite_and_central(self):
+        rng = np.random.default_rng(5)
+        values = rng.normal(5.0, 0.001, 500)
+        thr = bimodal_threshold(values)
+        assert 4.9 < thr < 5.1
+
+    def test_tight_zero_lobe_macbook_regression(self):
+        # Reproduces the exact failure observed on the MacBook-2018 link:
+        # zeros tightly clustered near 3, ones spread 8000-9500.
+        rng = np.random.default_rng(6)
+        zeros = rng.uniform(2.7, 3.3, 90)
+        ones = rng.uniform(7900, 9600, 110)
+        thr = bimodal_threshold(np.concatenate([zeros, ones]))
+        assert 10 < thr < 7900

@@ -1,0 +1,66 @@
+"""Tests for ASCII rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.render import LEVELS, ascii_lane, ascii_spectrogram, sparkline
+from repro.dsp.stft import stft
+
+
+class TestAsciiLane:
+    def test_width(self):
+        assert len(ascii_lane(np.random.default_rng(0).random(500), 40)) == 40
+
+    def test_constant_high_is_solid_under_max_norm(self):
+        lane = ascii_lane(np.full(100, 5.0), 20, normalise="max")
+        assert set(lane) == {LEVELS[-1]}
+
+    def test_minmax_stretches_texture(self):
+        values = np.concatenate([np.full(50, 5.0), np.full(50, 5.1)])
+        lane = ascii_lane(values, 20, normalise="minmax")
+        assert LEVELS[0] in lane and LEVELS[-1] in lane
+
+    def test_zeros_render_dark(self):
+        lane = ascii_lane(np.zeros(100), 20)
+        assert set(lane) == {LEVELS[0]}
+
+    def test_square_wave_shows_both_extremes(self):
+        values = np.concatenate([np.zeros(50), np.ones(50)])
+        lane = ascii_lane(values, 10)
+        assert lane[0] == LEVELS[0]
+        assert lane[-1] == LEVELS[-1]
+
+    def test_empty_input(self):
+        assert ascii_lane(np.empty(0), 10) == " " * 10
+
+
+class TestAsciiSpectrogram:
+    def _spec(self):
+        fs = 8000.0
+        t = np.arange(4096) / fs
+        tone = np.exp(2j * np.pi * 1000.0 * t)
+        tone[: tone.size // 2] = 0
+        return stft(tone, fs, fft_size=128, hop=64)
+
+    def test_dimensions(self):
+        art = ascii_spectrogram(self._spec(), 500, 1500, width=30, height=4)
+        lines = art.split("\n")
+        assert len(lines) >= 4
+        assert all(len(line) == 32 for line in lines[1:-1])  # |...| framing
+
+    def test_tone_region_brighter_after_onset(self):
+        art = ascii_spectrogram(self._spec(), 900, 1100, width=30, height=1)
+        body = art.split("\n")[1].strip("|")
+        dark = sum(1 for c in body[:10] if c == " ")
+        bright = sum(1 for c in body[-10:] if c != " ")
+        assert dark > 5
+        assert bright > 5
+
+    def test_out_of_band_raises(self):
+        with pytest.raises(ValueError, match="bins"):
+            ascii_spectrogram(self._spec(), 50000, 60000)
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline(np.arange(100), width=12)) == 12

@@ -1,0 +1,50 @@
+"""Tests for rate-conversion helpers."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.resample import block_reduce, linear_resample
+
+
+class TestLinearResample:
+    def test_endpoints_preserved(self):
+        x = np.array([1.0, 5.0, 2.0])
+        out = linear_resample(x, 7)
+        assert out[0] == 1.0
+        assert out[-1] == 2.0
+
+    def test_upsampling_interpolates(self):
+        out = linear_resample(np.array([0.0, 1.0]), 5)
+        assert out.tolist() == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_single_value_broadcast(self):
+        assert linear_resample(np.array([3.0]), 4).tolist() == [3.0] * 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            linear_resample(np.empty(0), 4)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            linear_resample(np.ones(4), 0)
+
+
+class TestBlockReduce:
+    def test_mean_reduction(self):
+        out = block_reduce(np.array([1.0, 3.0, 5.0, 7.0]), 2)
+        assert out.tolist() == [2.0, 6.0]
+
+    def test_trailing_partial_block_dropped(self):
+        out = block_reduce(np.arange(5.0), 2)
+        assert out.size == 2
+
+    def test_custom_reducer(self):
+        out = block_reduce(np.array([1.0, 9.0, 2.0, 8.0]), 2, reduce=np.max)
+        assert out.tolist() == [9.0, 8.0]
+
+    def test_block_larger_than_input(self):
+        assert block_reduce(np.ones(3), 10).size == 0
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ValueError):
+            block_reduce(np.ones(4), 0)

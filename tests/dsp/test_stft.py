@@ -1,0 +1,72 @@
+"""Tests for the STFT."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.stft import stft
+
+
+class TestShapes:
+    def test_frame_count(self):
+        spec = stft(np.zeros(1000, dtype=complex), 1e3, fft_size=128, hop=32)
+        assert spec.magnitudes.shape[0] == (1000 - 128) // 32 + 1
+
+    def test_complex_input_two_sided_axis(self):
+        spec = stft(np.zeros(256, dtype=complex), 1e3, fft_size=64, hop=16)
+        assert spec.frequencies[0] == pytest.approx(-500.0)
+        assert spec.magnitudes.shape[1] == 64
+
+    def test_real_input_one_sided_axis(self):
+        spec = stft(np.zeros(256), 1e3, fft_size=64, hop=16)
+        assert spec.frequencies[0] == 0.0
+        assert spec.magnitudes.shape[1] == 33
+
+    def test_too_short_input_raises(self):
+        with pytest.raises(ValueError, match="fft_size"):
+            stft(np.zeros(10), 1e3, fft_size=64)
+
+    def test_bad_hop_raises(self):
+        with pytest.raises(ValueError):
+            stft(np.zeros(256), 1e3, fft_size=64, hop=0)
+
+
+class TestContent:
+    def test_tone_lands_in_right_bin(self):
+        fs = 1e4
+        t = np.arange(4096) / fs
+        tone = np.exp(2j * np.pi * 1.25e3 * t)
+        spec = stft(tone, fs, fft_size=256, hop=64)
+        hot = np.argmax(spec.magnitudes.mean(axis=0))
+        assert spec.frequencies[hot] == pytest.approx(1.25e3, abs=fs / 256)
+
+    def test_negative_frequency_resolved(self):
+        fs = 1e4
+        t = np.arange(4096) / fs
+        tone = np.exp(-2j * np.pi * 2e3 * t)
+        spec = stft(tone, fs, fft_size=256, hop=64)
+        hot = np.argmax(spec.magnitudes.mean(axis=0))
+        assert spec.frequencies[hot] == pytest.approx(-2e3, abs=fs / 256)
+
+    def test_onset_time_localised(self):
+        fs = 1e4
+        n = 8192
+        t = np.arange(n) / fs
+        tone = np.exp(2j * np.pi * 1e3 * t)
+        tone[: n // 2] = 0.0
+        spec = stft(tone, fs, fft_size=256, hop=64)
+        lane = spec.magnitudes[:, spec.nearest_bin(1e3)]
+        onset_frame = np.argmax(lane > lane.max() / 2)
+        assert spec.times[onset_frame] == pytest.approx(n / 2 / fs, abs=0.005)
+
+    def test_band_energy_sums_bins(self):
+        fs = 1e4
+        t = np.arange(2048) / fs
+        tone = np.exp(2j * np.pi * 1e3 * t)
+        spec = stft(tone, fs, fft_size=256, hop=64)
+        bins = spec.band_indices(900, 1100)
+        assert bins.size >= 1
+        assert np.all(spec.band_energy(bins) > 0)
+
+    def test_frame_rate(self):
+        spec = stft(np.zeros(1024, dtype=complex), 2e3, fft_size=128, hop=32)
+        assert spec.frame_rate == pytest.approx(2e3 / 32)

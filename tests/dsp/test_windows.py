@@ -1,0 +1,46 @@
+"""Tests for analysis windows."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.windows import get_window, hann, rectangular
+
+
+class TestHann:
+    def test_starts_at_zero(self):
+        assert hann(64)[0] == pytest.approx(0.0)
+
+    def test_periodic_form_never_reaches_end(self):
+        w = hann(64)
+        assert w[-1] < 1.0
+
+    def test_peak_near_center(self):
+        w = hann(64)
+        assert np.argmax(w) == 32
+
+    def test_length_one(self):
+        assert hann(1).tolist() == [1.0]
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            hann(0)
+
+
+class TestRectangular:
+    def test_all_ones(self):
+        assert np.all(rectangular(16) == 1.0)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            rectangular(0)
+
+
+class TestLookup:
+    def test_names(self):
+        assert np.array_equal(get_window("hann", 8), hann(8))
+        assert np.array_equal(get_window("rect", 8), rectangular(8))
+        assert np.array_equal(get_window("boxcar", 8), rectangular(8))
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown window"):
+            get_window("blackman-harris-42", 8)

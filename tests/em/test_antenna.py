@@ -1,0 +1,55 @@
+"""Tests for antenna models."""
+
+import numpy as np
+import pytest
+
+from repro.em.antenna import LoopAntenna, aor_la390, coil_probe
+
+
+class TestCoilProbe:
+    def test_paper_geometry(self):
+        probe = coil_probe()
+        assert probe.turns == 33
+        assert probe.radius_m == pytest.approx(0.005)
+
+    def test_unity_normalisation_at_1mhz(self):
+        probe = coil_probe()
+        assert probe.gain(1e6) == pytest.approx(
+            probe.orientation_efficiency, rel=1e-9
+        )
+
+
+class TestLoopAntenna:
+    def test_paper_loop_geometry(self):
+        loop = aor_la390()
+        assert loop.radius_m == pytest.approx(0.30)
+        assert loop.amplifier_db == pytest.approx(20.0)
+
+    def test_loop_beats_probe_by_area_and_amp(self):
+        probe, loop = coil_probe(), aor_la390()
+        advantage_db = 20 * np.log10(loop.gain(1e6) / probe.gain(1e6))
+        # ~40 dB turns-area advantage + 20 dB LNA.
+        assert 55 < advantage_db < 65
+
+    def test_faraday_gain_scales_with_frequency(self):
+        loop = aor_la390()
+        assert loop.gain(2e6) == pytest.approx(2 * loop.gain(1e6))
+
+    def test_effective_area(self):
+        ant = LoopAntenna("x", turns=10, radius_m=0.1)
+        assert ant.effective_area_m2 == pytest.approx(10 * np.pi * 0.01)
+
+    def test_orientation_efficiency_applies(self):
+        aligned = LoopAntenna("a", 1, 0.1, orientation_efficiency=1.0)
+        skewed = LoopAntenna("b", 1, 0.1, orientation_efficiency=0.5)
+        assert skewed.gain(1e6) == pytest.approx(aligned.gain(1e6) / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoopAntenna("x", turns=0, radius_m=0.1)
+        with pytest.raises(ValueError):
+            LoopAntenna("x", turns=1, radius_m=-0.1)
+        with pytest.raises(ValueError):
+            LoopAntenna("x", turns=1, radius_m=0.1, orientation_efficiency=0.0)
+        with pytest.raises(ValueError):
+            LoopAntenna("x", 1, 0.1).gain(0.0)

@@ -1,0 +1,72 @@
+"""Tests for measurement scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.em.environment import (
+    Scenario,
+    distance_scenario,
+    near_field_scenario,
+    through_wall_scenario,
+)
+
+
+class TestScenarioHelpers:
+    def test_near_field_uses_coil_probe(self):
+        scen = near_field_scenario(1.5e6)
+        assert scen.antenna.name == "coil-probe"
+        assert scen.distance_m == pytest.approx(0.10)
+
+    def test_distance_uses_loop(self):
+        scen = distance_scenario(2.5, 1.5e6)
+        assert scen.antenna.name == "AOR-LA390"
+        assert scen.wall is None
+
+    def test_wall_scenario_has_wall_and_interferers(self):
+        scen = through_wall_scenario(1.5e6)
+        assert scen.wall is not None
+        assert scen.noise.tones
+        assert scen.noise.impulses
+
+
+class TestPhysicsFrequency:
+    def test_defaults_to_band_center(self):
+        scen = near_field_scenario(1.5e4)
+        assert scen.effective_physics_frequency_hz == 1.5e4
+
+    def test_override_makes_link_profile_invariant(self):
+        scaled = distance_scenario(1.0, 1.5e4, physics_frequency_hz=1.5e6)
+        paper = distance_scenario(1.0, 1.5e6)
+        assert scaled.link_gain() == pytest.approx(paper.link_gain())
+
+
+class TestLinkBudget:
+    def test_gain_falls_with_distance(self):
+        gains = [
+            distance_scenario(d, 1.5e6).link_gain() for d in (1.0, 1.5, 2.5)
+        ]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_loop_at_1m_comparable_to_probe_at_10cm(self):
+        # The paper's Table III: the big antenna + LNA roughly buys back
+        # the extra distance at 1 m.
+        probe = near_field_scenario(1.5e6).link_gain()
+        loop = distance_scenario(1.0, 1.5e6).link_gain()
+        ratio_db = 20 * np.log10(loop / probe)
+        assert -8 < ratio_db < 8
+
+    def test_wall_costs_further_gain(self):
+        plain = distance_scenario(1.5, 1.5e6).link_gain()
+        walled = through_wall_scenario(1.5e6, distance_m=1.5).link_gain()
+        assert walled < plain / 2
+
+    def test_apply_scales_and_adds_noise(self):
+        scen = near_field_scenario(1.5e6, awgn_amplitude=1e-6)
+        rng = np.random.default_rng(0)
+        emission = np.ones(1000)
+        received = scen.apply(emission, 1e6, rng)
+        assert received.mean() == pytest.approx(scen.link_gain(), rel=0.01)
+
+    def test_snr_estimate_monotone_in_amplitude(self):
+        scen = distance_scenario(1.0, 1.5e6)
+        assert scen.snr_estimate_db(10.0) > scen.snr_estimate_db(1.0)

@@ -1,0 +1,80 @@
+"""Tests for noise and interference sources."""
+
+import numpy as np
+import pytest
+
+from repro.em.noise import (
+    ImpulsiveNoise,
+    NoiseEnvironment,
+    ToneInterferer,
+    office_with_appliances,
+    quiet_lab,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(4)
+
+
+class TestAwgn:
+    def test_amplitude_sets_rms(self, rng):
+        env = NoiseEnvironment(awgn_amplitude=0.5)
+        noise = env.render(50000, 1e6, rng)
+        assert noise.std() == pytest.approx(0.5, rel=0.05)
+
+    def test_empty_request(self, rng):
+        assert quiet_lab().render(0, 1e6, rng).size == 0
+
+
+class TestTones:
+    def test_tone_appears_at_frequency(self, rng):
+        tone = ToneInterferer(frequency_hz=1e5, amplitude=1.0, drift_rel=0.0)
+        wave = tone.render(1 << 14, 1e6, rng)
+        spectrum = np.abs(np.fft.rfft(wave))
+        freqs = np.fft.rfftfreq(wave.size, 1e-6)
+        peak_freq = freqs[np.argmax(spectrum)]
+        assert peak_freq == pytest.approx(1e5, rel=0.01)
+
+    def test_tone_amplitude(self, rng):
+        tone = ToneInterferer(1e5, amplitude=2.0, drift_rel=0.0)
+        wave = tone.render(10000, 1e6, rng)
+        assert np.abs(wave).max() == pytest.approx(2.0, rel=0.01)
+
+    def test_drift_broadens_line(self, rng):
+        def linewidth(drift):
+            tone = ToneInterferer(1e5, 1.0, drift_rel=drift)
+            wave = tone.render(1 << 15, 1e6, np.random.default_rng(0))
+            spectrum = np.abs(np.fft.rfft(wave))
+            peak = spectrum.max()
+            return int(np.count_nonzero(spectrum > peak / 10))
+
+        assert linewidth(1e-3) > linewidth(0.0)
+
+
+class TestImpulses:
+    def test_events_occur_at_poisson_rate(self, rng):
+        imp = ImpulsiveNoise(rate_hz=100.0, amplitude=5.0, duration_s=1e-4)
+        wave = imp.render(int(1e6), 1e6, rng)
+        # ~100 events of amplitude >> 0 in one second.
+        busy = np.count_nonzero(np.abs(wave) > 0.5)
+        assert busy > 0
+
+    def test_zero_rate_is_silent(self, rng):
+        imp = ImpulsiveNoise(rate_hz=0.0, amplitude=5.0)
+        wave = imp.render(10000, 1e6, rng)
+        assert np.all(wave == 0)
+
+
+class TestEnvironments:
+    def test_office_is_noisier_than_lab(self, rng):
+        lab = quiet_lab(1e-3).render(20000, 1e6, np.random.default_rng(0))
+        office = office_with_appliances(1e-3, 0.1, 1.5e5).render(
+            20000, 1e6, np.random.default_rng(0)
+        )
+        assert office.std() > 2 * lab.std()
+
+    def test_office_tones_avoid_exact_band_center(self):
+        env = office_with_appliances(1e-3, 0.1, 1.5e5)
+        for tone in env.tones:
+            assert abs(tone.frequency_hz - 1.5e5) > 0.05 * 1.5e5

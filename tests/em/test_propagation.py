@@ -1,0 +1,68 @@
+"""Tests for near-field propagation and wall loss."""
+
+import numpy as np
+import pytest
+
+from repro.em.propagation import PathModel, Wall
+
+
+class TestPathModel:
+    def test_unity_gain_at_reference(self):
+        path = PathModel(reference_distance_m=0.03)
+        assert path.gain(0.03, 1e6) == pytest.approx(1.0)
+
+    def test_near_field_cubic_falloff(self):
+        path = PathModel(reference_distance_m=0.03)
+        g1 = path.gain(0.1, 1e6)
+        g2 = path.gain(0.2, 1e6)
+        # Deep in the near field: doubling distance costs 18 dB.
+        assert g1 / g2 == pytest.approx(8.0, rel=0.01)
+
+    def test_monotone_decreasing(self):
+        path = PathModel()
+        gains = [path.gain(d, 1e6) for d in (0.1, 0.5, 1.0, 2.5, 10.0)]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_gain_db_negative_past_reference(self):
+        path = PathModel()
+        assert path.gain_db(1.0, 1e6) < 0
+
+    def test_far_field_relaxes_toward_1_over_r(self):
+        # Far beyond the radian distance the extra loss per doubling
+        # approaches 6 dB rather than 18 dB.
+        path = PathModel()
+        f = 1e6
+        radian = 3e8 / (2 * np.pi * f)
+        near_ratio = path.gain(0.1, f) / path.gain(0.2, f)
+        far_ratio = path.gain(20 * radian, f) / path.gain(40 * radian, f)
+        assert far_ratio < near_ratio / 3
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            PathModel().gain(0.0, 1e6)
+        with pytest.raises(ValueError):
+            PathModel().gain(1.0, -1e6)
+
+
+class TestWall:
+    def test_loss_at_reference_frequency(self):
+        wall = Wall(loss_db_at_1mhz=12.5)
+        assert wall.loss_db(1e6) == pytest.approx(12.5)
+
+    def test_loss_grows_with_frequency(self):
+        wall = Wall()
+        assert wall.loss_db(4e6) == pytest.approx(2 * wall.loss_db(1e6))
+
+    def test_wall_reduces_path_gain(self):
+        path = PathModel()
+        assert path.gain(1.0, 1e6, Wall()) < path.gain(1.0, 1e6)
+
+    def test_wall_loss_matches_db_budget(self):
+        path = PathModel()
+        wall = Wall(loss_db_at_1mhz=12.5)
+        delta_db = path.gain_db(1.0, 1e6, wall) - path.gain_db(1.0, 1e6)
+        assert delta_db == pytest.approx(-12.5, abs=0.01)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            Wall().loss_db(0.0)

@@ -1,0 +1,122 @@
+"""Tests for the website-fingerprinting subpackage."""
+
+import numpy as np
+import pytest
+
+from repro.fingerprint.classifier import (
+    NearestCentroidClassifier,
+    accuracy,
+    confusion_matrix,
+)
+from repro.fingerprint.features import (
+    FEATURE_NAMES,
+    features_from_events,
+)
+from repro.fingerprint.workloads import (
+    LoadPhase,
+    WebsiteProfile,
+    default_catalog,
+)
+from repro.keylog.detector import DetectedEvent
+
+
+class TestWorkloads:
+    def test_catalog_has_distinct_sites(self):
+        catalog = default_catalog()
+        assert len(catalog) == 8
+        assert len({site.name for site in catalog}) == 8
+
+    def test_sample_is_valid_trace(self):
+        rng = np.random.default_rng(0)
+        for site in default_catalog():
+            trace = site.sample(rng)
+            assert trace.intervals
+            assert trace.duration > trace.intervals[-1].end - 1e-9
+
+    def test_nominal_load_time_orders_sites(self):
+        catalog = {s.name: s for s in default_catalog()}
+        assert (
+            catalog["static-blog"].nominal_load_s
+            < catalog["video-portal"].nominal_load_s
+        )
+
+    def test_samples_vary(self):
+        site = default_catalog()[0]
+        rng = np.random.default_rng(1)
+        a = site.sample(rng)
+        b = site.sample(rng)
+        assert a.duration != b.duration
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            LoadPhase("x", burst_s=0.0, gap_s=0.1)
+        with pytest.raises(ValueError):
+            LoadPhase("x", burst_s=0.1, gap_s=0.1, repeat=0)
+
+
+class TestFeatures:
+    def _events(self, spec):
+        return [DetectedEvent(s, e) for s, e in spec]
+
+    def test_vector_length_matches_names(self):
+        events = self._events([(0.1, 0.2), (0.5, 0.8)])
+        vec = features_from_events(events, 1.0)
+        assert vec.size == len(FEATURE_NAMES)
+
+    def test_total_active_and_duration(self):
+        events = self._events([(0.1, 0.2), (0.5, 0.8)])
+        vec = features_from_events(events, 1.0)
+        named = dict(zip(FEATURE_NAMES, vec))
+        assert named["total_active_s"] == pytest.approx(0.4)
+        assert named["load_duration_s"] == pytest.approx(0.7)
+        assert named["n_bursts"] == 2
+
+    def test_empty_events_zero_vector(self):
+        assert np.all(features_from_events([], 1.0) == 0)
+
+    def test_early_fraction(self):
+        front_loaded = self._events([(0.0, 0.4), (0.9, 1.0)])
+        vec = dict(zip(FEATURE_NAMES, features_from_events(front_loaded, 1.0)))
+        assert vec["early_activity_fraction"] > 0.5
+
+
+class TestClassifier:
+    def test_separable_clusters(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal([0, 0], 0.1, size=(20, 2))
+        b = rng.normal([5, 5], 0.1, size=(20, 2))
+        X = np.vstack([a, b])
+        y = ["a"] * 20 + ["b"] * 20
+        clf = NearestCentroidClassifier().fit(X, y)
+        assert clf.predict(np.array([[0.1, -0.1], [5.2, 4.9]])) == ["a", "b"]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            NearestCentroidClassifier().predict(np.zeros((1, 2)))
+
+    def test_constant_feature_does_not_crash(self):
+        X = np.array([[1.0, 7.0], [2.0, 7.0], [3.0, 7.0], [4.0, 7.0]])
+        clf = NearestCentroidClassifier().fit(X, ["a", "a", "b", "b"])
+        assert clf.predict_one(np.array([1.2, 7.0])) == "a"
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            NearestCentroidClassifier().fit(np.zeros(3), ["a", "b", "c"])
+
+    def test_metrics(self):
+        assert accuracy(["a", "b"], ["a", "a"]) == 0.5
+        matrix, labels = confusion_matrix(["a", "b"], ["a", "a"])
+        assert labels == ["a", "b"]
+        assert matrix[1, 0] == 1
+
+
+class TestEndToEnd:
+    def test_fingerprinting_beats_chance(self):
+        from repro.fingerprint import FingerprintExperiment, default_catalog
+
+        exp = FingerprintExperiment(
+            seed=3, catalog=default_catalog()[:4]
+        )
+        result = exp.run(loads_per_site=4, train_fraction=0.5)
+        assert result.accuracy > 0.5  # chance = 0.25
+        assert result.n_test == 8

@@ -1,0 +1,82 @@
+"""Tests for keystroke-to-activity conversion."""
+
+import numpy as np
+import pytest
+
+from repro.keylog.activity import KeystrokeActivityModel, keystrokes_to_activity
+from repro.types import Keystroke
+
+
+def strokes(times, dwell=0.08):
+    return [Keystroke(t, t + dwell, "x") for t in times]
+
+
+class TestKeystrokeActivity:
+    def test_burst_at_each_press(self):
+        model = KeystrokeActivityModel(browser_burst_rate_hz=0.0)
+        trace = keystrokes_to_activity(
+            strokes([0.5, 1.5]), 3.0, model, np.random.default_rng(0)
+        )
+        covered = trace.levels_at(np.array([0.51, 1.51]))
+        assert np.all(covered == 1.0)
+
+    def test_press_burst_longer_than_detector_floor(self):
+        model = KeystrokeActivityModel(browser_burst_rate_hz=0.0)
+        trace = keystrokes_to_activity(
+            strokes([1.0]), 3.0, model, np.random.default_rng(1)
+        )
+        press_burst = trace.intervals[0]
+        assert press_burst.duration >= 0.030 * 0.5
+
+    def test_release_burst_shorter_than_press(self):
+        model = KeystrokeActivityModel(
+            browser_burst_rate_hz=0.0, burst_jitter_rel=0.0
+        )
+        trace = keystrokes_to_activity(
+            strokes([1.0], dwell=0.2), 3.0, model, np.random.default_rng(2)
+        )
+        assert len(trace.intervals) == 2
+        assert trace.intervals[1].duration < trace.intervals[0].duration
+
+    def test_browser_bursts_appear_without_keystrokes(self):
+        model = KeystrokeActivityModel(browser_burst_rate_hz=20.0)
+        trace = keystrokes_to_activity(
+            [], 5.0, model, np.random.default_rng(3)
+        )
+        assert len(trace.intervals) > 10
+
+    def test_browser_bursts_mostly_below_detector_floor(self):
+        model = KeystrokeActivityModel(browser_burst_rate_hz=50.0)
+        trace = keystrokes_to_activity(
+            [], 20.0, model, np.random.default_rng(4)
+        )
+        durations = np.array([iv.duration for iv in trace.intervals])
+        assert np.median(durations) < 0.03
+
+    def test_overlapping_bursts_merge(self):
+        model = KeystrokeActivityModel(browser_burst_rate_hz=0.0)
+        trace = keystrokes_to_activity(
+            strokes([1.0, 1.01]), 3.0, model, np.random.default_rng(5)
+        )
+        for a, b in zip(trace.intervals, trace.intervals[1:]):
+            assert a.end <= b.start
+
+    def test_time_scale_dilates_bursts(self):
+        model = KeystrokeActivityModel(
+            browser_burst_rate_hz=0.0, burst_jitter_rel=0.0
+        )
+        base = keystrokes_to_activity(
+            strokes([1.0]), 30.0, model, np.random.default_rng(6),
+            time_scale=1.0,
+        )
+        dilated = keystrokes_to_activity(
+            strokes([1.0]), 30.0, model, np.random.default_rng(6),
+            time_scale=10.0,
+        )
+        assert dilated.intervals[0].duration == pytest.approx(
+            10 * base.intervals[0].duration
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KeystrokeActivityModel(press_burst_s=0.0)

@@ -1,0 +1,88 @@
+"""Tests for the keystroke detector."""
+
+import numpy as np
+import pytest
+
+from repro.keylog.detector import (
+    DetectedEvent,
+    KeylogDetectorConfig,
+    KeystrokeDetector,
+    match_events,
+)
+from repro.types import Keystroke
+
+
+class TestDetectorOnCapture:
+    def test_detects_most_keystrokes(self, keylog_artifacts):
+        keystrokes, capture, exp = keylog_artifacts
+        detector = KeystrokeDetector(
+            exp.machine.vrm_frequency_hz / exp.profile.total_freq_divisor,
+            exp.detector_config,
+        )
+        detection = detector.detect(capture)
+        tp, fp, fn = match_events(detection.events, keystrokes)
+        assert tp / len(keystrokes) > 0.85
+        assert fp <= 3
+
+    def test_events_sorted_and_long_enough(self, keylog_artifacts):
+        keystrokes, capture, exp = keylog_artifacts
+        detector = KeystrokeDetector(
+            exp.machine.vrm_frequency_hz / exp.profile.total_freq_divisor
+        )
+        detection = detector.detect(capture)
+        for a, b in zip(detection.events, detection.events[1:]):
+            assert a.end <= b.start
+        assert all(
+            ev.duration >= detector.config.min_event_s
+            for ev in detection.events
+        )
+
+    def test_threshold_inside_energy_range(self, keylog_artifacts):
+        keystrokes, capture, exp = keylog_artifacts
+        detector = KeystrokeDetector(
+            exp.machine.vrm_frequency_hz / exp.profile.total_freq_divisor
+        )
+        detection = detector.detect(capture)
+        assert (
+            detection.band_energy.min()
+            < detection.threshold
+            < detection.band_energy.max()
+        )
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            KeystrokeDetector(0.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            KeylogDetectorConfig(window_s=0.0)
+
+
+class TestMatchEvents:
+    def test_exact_matches(self):
+        truth = [Keystroke(1.0, 1.1, "a"), Keystroke(2.0, 2.1, "b")]
+        detected = [DetectedEvent(0.98, 1.15), DetectedEvent(1.99, 2.2)]
+        assert match_events(detected, truth) == (2, 0, 0)
+
+    def test_false_positive_counted(self):
+        truth = [Keystroke(1.0, 1.1, "a")]
+        detected = [DetectedEvent(0.98, 1.15), DetectedEvent(5.0, 5.1)]
+        assert match_events(detected, truth) == (1, 1, 0)
+
+    def test_missed_keystroke_counted(self):
+        truth = [Keystroke(1.0, 1.1, "a"), Keystroke(2.0, 2.1, "b")]
+        detected = [DetectedEvent(0.98, 1.15)]
+        assert match_events(detected, truth) == (1, 0, 1)
+
+    def test_one_event_matches_only_one_keystroke(self):
+        truth = [Keystroke(1.0, 1.1, "a"), Keystroke(1.05, 1.15, "b")]
+        detected = [DetectedEvent(0.98, 1.2)]
+        tp, fp, fn = match_events(detected, truth)
+        assert tp == 1
+        assert fn == 1
+
+    def test_tolerance_window(self):
+        truth = [Keystroke(1.0, 1.1, "a")]
+        detected = [DetectedEvent(1.03, 1.2)]
+        assert match_events(detected, truth, tolerance_s=0.06)[0] == 1
+        assert match_events(detected, truth, tolerance_s=0.001)[0] == 0

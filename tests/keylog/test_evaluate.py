@@ -1,0 +1,47 @@
+"""Tests for the keylogging evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.keylog.evaluate import KeylogExperiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return KeylogExperiment(seed=4).run(n_words=12)
+
+
+class TestKeylogExperiment:
+    def test_scores_in_valid_ranges(self, result):
+        assert 0.0 <= result.true_positive_rate <= 1.0
+        assert 0.0 <= result.false_positive_rate <= 1.0
+        assert 0.0 <= result.word_precision <= 1.0
+        assert 0.0 <= result.word_recall <= 1.0
+
+    def test_near_field_detection_is_accurate(self, result):
+        assert result.true_positive_rate > 0.85
+        assert result.false_positive_rate < 0.15
+
+    def test_counts_consistent(self, result):
+        assert result.n_detected == result.detection.count
+        assert result.n_keystrokes > 0
+
+    def test_row_serialisation(self, result):
+        row = result.row()
+        assert set(row) == {
+            "label",
+            "TPR",
+            "FPR",
+            "word_precision",
+            "word_recall",
+        }
+
+    def test_explicit_text_fixes_keystroke_count(self):
+        res = KeylogExperiment(seed=5).run(text="abc def")
+        assert res.n_keystrokes == 7
+
+    def test_deterministic_given_seed(self):
+        a = KeylogExperiment(seed=6).run(text="same text")
+        b = KeylogExperiment(seed=6).run(text="same text")
+        assert a.true_positive_rate == b.true_positive_rate
+        assert a.n_detected == b.n_detected

@@ -1,0 +1,109 @@
+"""Tests for inter-key timing analysis."""
+
+import numpy as np
+import pytest
+
+from repro.keylog.detector import DetectedEvent
+from repro.keylog.interkey import (
+    IntervalProfile,
+    TimingAnalysis,
+    analyze_timing,
+    dictionary_reduction_factor,
+    intervals_from_events,
+)
+
+
+def events_with_intervals(intervals, start=0.0):
+    t = start
+    events = [DetectedEvent(t, t + 0.04)]
+    for gap in intervals:
+        t += gap
+        events.append(DetectedEvent(t, t + 0.04))
+    return events
+
+
+class TestIntervalProfile:
+    def test_terciles_classify_extremes(self):
+        rng = np.random.default_rng(0)
+        intervals = rng.normal(0.2, 0.05, 300)
+        profile = IntervalProfile.from_intervals(intervals)
+        assert profile.classify(0.05) == "fast"
+        assert profile.classify(0.5) == "slow"
+        assert profile.classify(profile.median) == "medium"
+
+    def test_requires_enough_samples(self):
+        with pytest.raises(ValueError):
+            IntervalProfile.from_intervals(np.array([0.1, 0.2]))
+
+
+class TestIntervalsFromEvents:
+    def test_start_to_start(self):
+        events = events_with_intervals([0.2, 0.3])
+        assert intervals_from_events(events) == pytest.approx([0.2, 0.3])
+
+    def test_single_event(self):
+        assert intervals_from_events([DetectedEvent(0, 0.04)]).size == 0
+
+
+class TestAnalyzeTiming:
+    def test_classes_cover_all_intervals(self):
+        rng = np.random.default_rng(1)
+        events = events_with_intervals(rng.uniform(0.1, 0.4, 30))
+        analysis = analyze_timing(events)
+        assert analysis.n_intervals == 30
+        assert set(analysis.classes) <= {"fast", "medium", "slow"}
+
+    def test_reduction_is_positive_bits(self):
+        rng = np.random.default_rng(2)
+        events = events_with_intervals(rng.uniform(0.1, 0.4, 30))
+        analysis = analyze_timing(events)
+        assert analysis.search_space_reduction_bits > 0.5
+
+    def test_needs_minimum_events(self):
+        with pytest.raises(ValueError):
+            analyze_timing(events_with_intervals([0.2]))
+
+    def test_custom_fractions_change_reduction(self):
+        rng = np.random.default_rng(3)
+        events = events_with_intervals(rng.uniform(0.1, 0.4, 30))
+        loose = analyze_timing(
+            events, {"fast": 0.9, "medium": 0.9, "slow": 0.9}
+        )
+        tight = analyze_timing(
+            events, {"fast": 0.1, "medium": 0.1, "slow": 0.1}
+        )
+        assert tight.search_space_reduction_bits > (
+            loose.search_space_reduction_bits
+        )
+
+
+class TestDictionaryReduction:
+    def test_grows_with_word_length(self):
+        rng = np.random.default_rng(4)
+        events = events_with_intervals(rng.uniform(0.1, 0.4, 30))
+        analysis = analyze_timing(events)
+        assert dictionary_reduction_factor(
+            analysis, 8
+        ) > dictionary_reduction_factor(analysis, 4)
+
+    def test_single_letter_word_unconstrained(self):
+        rng = np.random.default_rng(5)
+        events = events_with_intervals(rng.uniform(0.1, 0.4, 30))
+        analysis = analyze_timing(events)
+        assert dictionary_reduction_factor(analysis, 1) == 1.0
+
+
+class TestOnRealDetections:
+    def test_timing_leaks_from_real_capture(self, keylog_artifacts):
+        keystrokes, capture, exp = keylog_artifacts
+        from repro.keylog.detector import KeystrokeDetector
+
+        detector = KeystrokeDetector(
+            exp.machine.vrm_frequency_hz / exp.profile.total_freq_divisor
+        )
+        events = detector.detect(capture).events
+        analysis = analyze_timing(events)
+        # Several bits of search-space reduction per digraph, which is
+        # the Section V-B point: timing alone meaningfully narrows a
+        # dictionary attack.
+        assert analysis.search_space_reduction_bits > 1.0

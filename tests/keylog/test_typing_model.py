@@ -1,0 +1,108 @@
+"""Tests for the typing model and its Salthouse effects."""
+
+import numpy as np
+import pytest
+
+from repro.keylog.typing_model import (
+    TypingModel,
+    TypistProfile,
+    key_distance,
+    random_words,
+)
+
+
+@pytest.fixture
+def model():
+    return TypingModel(rng=np.random.default_rng(0))
+
+
+class TestKeyDistance:
+    def test_adjacent_keys_close(self):
+        assert key_distance("a", "s") < key_distance("a", "p")
+
+    def test_symmetry(self):
+        assert key_distance("q", "m") == key_distance("m", "q")
+
+    def test_unknown_key_gets_default(self):
+        assert key_distance("a", "@") == pytest.approx(3.0)
+
+
+class TestSalthouseEffects:
+    def _mean_interval(self, prev, key, n=300, **profile_kwargs):
+        profile = TypistProfile(interval_jitter_rel=0.0, **profile_kwargs)
+        model = TypingModel(profile, rng=np.random.default_rng(1))
+        return np.mean(
+            [model.interval_for(prev, key, keys_typed=0) for _ in range(n)]
+        )
+
+    def test_far_keys_faster_than_near(self):
+        # Effect (i): distant pairs (alternating hands) are quicker.
+        near = self._mean_interval("f", "g")
+        far = self._mean_interval("f", "p")
+        assert far < near
+
+    def test_frequent_digraph_faster(self):
+        # Effect (ii): "th" beats a rare pair at similar distance.
+        frequent = self._mean_interval("t", "h")
+        rare = self._mean_interval("t", "j")
+        assert frequent < rare
+
+    def test_practice_shortens_intervals(self):
+        # Effect (iii): later keystrokes are quicker.
+        profile = TypistProfile(interval_jitter_rel=0.0)
+        model = TypingModel(profile, rng=np.random.default_rng(2))
+        early = model.interval_for("a", "k", keys_typed=0)
+        late = model.interval_for("a", "k", keys_typed=10_000)
+        assert late < early
+
+    def test_word_boundary_pause(self):
+        within = self._mean_interval("a", "b")
+        boundary = self._mean_interval("a", " ")
+        assert boundary > 1.5 * within
+
+
+class TestTypeText:
+    def test_one_keystroke_per_character(self, model):
+        events = model.type_text("hello world")
+        assert len(events) == 11
+        assert [e.key for e in events] == list("hello world")
+
+    def test_monotone_press_times(self, model):
+        events = model.type_text("the quick brown fox")
+        presses = [e.press_time for e in events]
+        assert presses == sorted(presses)
+
+    def test_minimum_inter_key_gap(self, model):
+        events = model.type_text("a" * 50)
+        gaps = np.diff([e.press_time for e in events])
+        assert gaps.min() >= 0.085 - 1e-9
+
+    def test_dwell_times_positive(self, model):
+        events = model.type_text("abcdef")
+        assert all(e.dwell >= 0.02 for e in events)
+
+    def test_empty_text(self, model):
+        assert model.type_text("") == []
+
+    def test_start_time_offsets_first_press(self, model):
+        events = model.type_text("ab", start_time=5.0)
+        assert events[0].press_time == pytest.approx(5.0)
+
+
+class TestRandomWords:
+    def test_word_count(self):
+        text = random_words(25, np.random.default_rng(3))
+        assert len(text.split(" ")) == 25
+
+    def test_mean_length_near_english(self):
+        text = random_words(400, np.random.default_rng(4))
+        lengths = [len(w) for w in text.split(" ")]
+        assert np.mean(lengths) == pytest.approx(4.7, abs=1.0)
+
+    def test_lowercase_letters_only(self):
+        text = random_words(10, np.random.default_rng(5))
+        assert all(c.islower() or c == " " for c in text)
+
+    def test_rejects_zero_words(self):
+        with pytest.raises(ValueError):
+            random_words(0)

@@ -1,0 +1,76 @@
+"""Tests for word segmentation and word-accuracy scoring."""
+
+import numpy as np
+import pytest
+
+from repro.keylog.detector import DetectedEvent
+from repro.keylog.words import segment_words, word_accuracy
+
+
+def events_for_text(text, base=0.2, boundary=0.45, seed=None):
+    """Synthetic detections: regular gaps, longer around spaces."""
+    rng = np.random.default_rng(seed) if seed is not None else None
+    t = 0.0
+    events = []
+    prev = None
+    for ch in text:
+        if prev is not None:
+            gap = boundary if (" " in (prev, ch)) else base
+            if rng is not None:
+                gap *= 1.0 + 0.1 * rng.standard_normal()
+            t += gap
+        events.append(DetectedEvent(t, t + 0.05))
+        prev = ch
+    return events
+
+
+class TestSegmentation:
+    def test_clean_sentence(self):
+        seg = segment_words(events_for_text("can you hear me"))
+        assert seg.word_lengths == [3, 3, 4, 2]
+
+    def test_single_word(self):
+        seg = segment_words(events_for_text("hello"))
+        assert seg.word_lengths == [5]
+
+    def test_jittered_sentence(self):
+        seg = segment_words(events_for_text("the cat sat on a mat", seed=0))
+        assert seg.word_lengths == [3, 3, 3, 2, 1, 3]
+
+    def test_empty_events(self):
+        seg = segment_words([])
+        assert seg.word_lengths == []
+
+    def test_single_event(self):
+        seg = segment_words([DetectedEvent(0.0, 0.05)])
+        assert seg.word_lengths == [1]
+
+    def test_boundary_gaps_reported(self):
+        seg = segment_words(events_for_text("ab cd"))
+        assert seg.boundary_gaps.size >= 1
+        assert seg.gap_threshold > 0
+
+
+class TestWordAccuracy:
+    def test_perfect_match(self):
+        p, r = word_accuracy([3, 4, 2], [3, 4, 2])
+        assert p == 1.0
+        assert r == 1.0
+
+    def test_wrong_length_hurts_precision_not_recall(self):
+        p, r = word_accuracy([3, 5, 2], [3, 4, 2])
+        assert p == pytest.approx(2 / 3)
+        assert r == 1.0
+
+    def test_missing_word_hurts_recall(self):
+        p, r = word_accuracy([3, 2], [3, 4, 2])
+        assert r == pytest.approx(2 / 3)
+        assert p == 1.0
+
+    def test_extra_word_hurts_precision(self):
+        p, r = word_accuracy([3, 9, 4, 2], [3, 4, 2])
+        assert p == pytest.approx(3 / 4)
+        assert r == 1.0
+
+    def test_empty_prediction(self):
+        assert word_accuracy([], [3, 4]) == (0.0, 0.0)

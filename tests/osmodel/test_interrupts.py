@@ -1,0 +1,78 @@
+"""Tests for interrupt and background-activity generators."""
+
+import numpy as np
+import pytest
+
+from repro.osmodel.interrupts import (
+    NOISY,
+    QUIET,
+    InterruptProfile,
+    background_load,
+    generate,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestGenerate:
+    def test_intervals_sorted_and_disjoint(self, rng):
+        trace = generate(QUIET, 2.0, rng)
+        for a, b in zip(trace.intervals, trace.intervals[1:]):
+            assert a.end <= b.start
+
+    def test_rate_scales_with_profile(self):
+        quiet = generate(QUIET, 5.0, np.random.default_rng(1))
+        noisy = generate(NOISY, 5.0, np.random.default_rng(1))
+        assert len(noisy.intervals) > len(quiet.intervals)
+
+    def test_busy_fraction_is_small(self, rng):
+        trace = generate(QUIET, 5.0, rng)
+        assert trace.busy_time / trace.duration < 0.05
+
+    def test_time_scale_preserves_busy_fraction(self):
+        base = generate(NOISY, 5.0, np.random.default_rng(2), time_scale=1.0)
+        dilated = generate(NOISY, 500.0, np.random.default_rng(2), time_scale=100.0)
+        assert dilated.busy_time / dilated.duration == pytest.approx(
+            base.busy_time / base.duration, rel=0.5
+        )
+
+    def test_zero_rate_profile_is_silent(self, rng):
+        silent = InterruptProfile(
+            routine_rate_hz=0.0, heavy_rate_hz=0.0
+        )
+        trace = generate(silent, 1.0, rng)
+        assert trace.intervals == []
+
+    def test_rejects_nonpositive_duration(self, rng):
+        with pytest.raises(ValueError):
+            generate(QUIET, 0.0, rng)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            InterruptProfile(routine_rate_hz=-1.0)
+
+
+class TestBackgroundLoad:
+    def test_mostly_short_bursts(self, rng):
+        trace = background_load(5.0, rng)
+        durations = np.array([iv.duration for iv in trace.intervals])
+        # The paper: bursts mostly smaller than one sleep/active period
+        # (~100 us); medium bursts are the exception.
+        assert np.median(durations) < 150e-6
+
+    def test_duty_cycle_moderate(self, rng):
+        trace = background_load(5.0, rng)
+        duty = trace.busy_time / trace.duration
+        assert 0.05 < duty < 0.4
+
+    def test_intervals_disjoint(self, rng):
+        trace = background_load(2.0, rng)
+        for a, b in zip(trace.intervals, trace.intervals[1:]):
+            assert a.end <= b.start
+
+    def test_rejects_bad_scales(self, rng):
+        with pytest.raises(ValueError):
+            background_load(1.0, rng, short_burst_s=0.0)

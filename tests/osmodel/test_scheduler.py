@@ -1,0 +1,67 @@
+"""Tests for scheduler contention and trace mixing."""
+
+import numpy as np
+import pytest
+
+from repro.osmodel.scheduler import Scheduler, SchedulerConfig
+from repro.types import ActivityTrace, Interval
+
+
+def make_scheduler(stretch=0.5, delay=0.0):
+    return Scheduler(
+        SchedulerConfig(stretch_per_overlap=stretch, wakeup_delay_s=delay),
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestContention:
+    def test_no_competitor_leaves_trace_unchanged(self):
+        sched = make_scheduler()
+        tx = ActivityTrace([Interval(0.0, 0.1), Interval(0.2, 0.3)], 0.5)
+        out = sched.contend(tx, ActivityTrace([], 0.5))
+        assert [(iv.start, iv.end) for iv in out.intervals] == [
+            (0.0, 0.1),
+            (0.2, 0.3),
+        ]
+
+    def test_overlap_stretches_active_period(self):
+        sched = make_scheduler(stretch=1.0)
+        tx = ActivityTrace([Interval(0.0, 0.1)], 0.5)
+        competitor = ActivityTrace([Interval(0.0, 0.1)], 0.5)
+        out = sched.contend(tx, competitor)
+        assert out.intervals[0].duration == pytest.approx(0.2)
+
+    def test_later_intervals_shift_to_preserve_order(self):
+        sched = make_scheduler(stretch=1.0)
+        tx = ActivityTrace([Interval(0.0, 0.1), Interval(0.15, 0.2)], 0.5)
+        competitor = ActivityTrace([Interval(0.0, 0.1)], 0.5)
+        out = sched.contend(tx, competitor)
+        assert out.intervals[1].start == pytest.approx(0.25)
+
+    def test_busy_wake_adds_delay(self):
+        sched = Scheduler(
+            SchedulerConfig(stretch_per_overlap=0.0, wakeup_delay_s=10e-3),
+            rng=np.random.default_rng(1),
+        )
+        tx = ActivityTrace([Interval(0.1, 0.2)], 0.5)
+        competitor = ActivityTrace([Interval(0.05, 0.15)], 0.5)
+        out = sched.contend(tx, competitor)
+        assert out.intervals[0].start > 0.1
+
+    def test_empty_transmitter_passes_through(self):
+        sched = make_scheduler()
+        tx = ActivityTrace([], 0.5)
+        assert sched.contend(tx, ActivityTrace([], 0.5)) is tx
+
+
+class TestPackageActivity:
+    def test_union_of_traces(self):
+        sched = make_scheduler()
+        a = ActivityTrace([Interval(0.0, 0.1)], 1.0)
+        b = ActivityTrace([Interval(0.2, 0.3)], 1.0)
+        merged = sched.package_activity(a, b)
+        assert merged.busy_time == pytest.approx(0.2)
+
+    def test_requires_at_least_one_trace(self):
+        with pytest.raises(ValueError):
+            make_scheduler().package_activity()

@@ -1,0 +1,100 @@
+"""Tests for OS sleep-timer models."""
+
+import numpy as np
+import pytest
+
+from repro.osmodel.timers import ComputeModel, UnixUsleep, WindowsSleep
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestUnixUsleep:
+    def test_never_sleeps_less_than_requested(self, rng):
+        timer = UnixUsleep(rng)
+        assert all(timer.sleep(100e-6) >= 100e-6 for _ in range(100))
+
+    def test_positive_skew(self, rng):
+        timer = UnixUsleep(rng)
+        realised = np.array([timer.sleep(100e-6) for _ in range(2000)])
+        overshoot = realised - 100e-6
+        assert np.mean(overshoot) > np.median(overshoot) * 0.9
+        assert np.percentile(overshoot, 99) > 3 * np.median(overshoot)
+
+    def test_time_scale_dilates_overhead(self, rng):
+        t1 = UnixUsleep(np.random.default_rng(0), time_scale=1.0)
+        t100 = UnixUsleep(np.random.default_rng(0), time_scale=100.0)
+        # Same seed: jitter draws scale exactly with time_scale.
+        assert t100.sleep(0.0) == pytest.approx(100 * t1.sleep(0.0))
+
+    def test_minimum_reliable_sleep_scales(self, rng):
+        assert UnixUsleep(rng, time_scale=10).minimum_reliable_sleep_s == 100e-6
+
+    def test_rejects_negative_request(self, rng):
+        with pytest.raises(ValueError):
+            UnixUsleep(rng).sleep(-1.0)
+
+
+class TestWindowsSleep:
+    def test_wakes_on_tick_boundaries(self, rng):
+        timer = WindowsSleep(rng, tick_s=1e-3, jitter_scale_s=0.0)
+        now = 0.3e-3
+        realised = timer.sleep(1e-3, now_s=now)
+        wake = now + realised
+        assert wake / 1e-3 == pytest.approx(round(wake / 1e-3))
+
+    def test_never_early(self, rng):
+        timer = WindowsSleep(rng)
+        for now in (0.0, 0.1e-3, 0.49e-3):
+            assert timer.sleep(1e-3, now_s=now) >= 1e-3
+
+    def test_quantisation_dominates_precision(self, rng):
+        timer = WindowsSleep(rng, tick_s=1e-3)
+        r1 = timer.sleep(0.1e-3, now_s=0.0)
+        r2 = timer.sleep(0.9e-3, now_s=0.0)
+        # Requests below one tick realise to the same tick boundary.
+        assert abs(r1 - r2) < 0.2e-3
+
+    def test_phase_correlation_keeps_periods_regular(self):
+        # Starting on a tick edge, sleep(1 tick) + zero work = exactly
+        # periodic wakeups (plus small jitter).
+        timer = WindowsSleep(np.random.default_rng(0), jitter_scale_s=1e-9)
+        t = 0.0
+        periods = []
+        for _ in range(10):
+            s = timer.sleep(0.5e-3, now_s=t)
+            periods.append(s)
+            t += s
+        assert np.ptp(periods) < 0.05e-3
+
+    def test_rejects_negative_request(self, rng):
+        with pytest.raises(ValueError):
+            WindowsSleep(rng).sleep(-1.0)
+
+
+class TestComputeModel:
+    def test_duration_scales_with_iterations(self, rng):
+        model = ComputeModel(2e-9, 10e-6, noise_rel_std=0.0)
+        t1 = model.seconds_for(1000, rng)
+        t2 = model.seconds_for(2000, rng)
+        assert t2 > t1
+
+    def test_zero_iterations_still_cost_overhead(self, rng):
+        model = ComputeModel(2e-9, 10e-6, noise_rel_std=0.0)
+        assert model.seconds_for(0, rng) == pytest.approx(10e-6)
+
+    def test_iterations_for_inverts_seconds_for(self, rng):
+        model = ComputeModel(2e-9, 10e-6, noise_rel_std=0.0)
+        iterations = model.iterations_for(110e-6)
+        assert model.seconds_for(iterations, rng) == pytest.approx(110e-6, rel=0.01)
+
+    def test_scaled_dilates_both_terms(self):
+        model = ComputeModel(2e-9, 10e-6).scaled(100.0)
+        assert model.seconds_per_iteration == pytest.approx(200e-9)
+        assert model.call_overhead_s == pytest.approx(1e-3)
+
+    def test_rejects_negative_iterations(self, rng):
+        with pytest.raises(ValueError):
+            ComputeModel(2e-9, 10e-6).seconds_for(-1, rng)

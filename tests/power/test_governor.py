@@ -1,0 +1,85 @@
+"""Tests for the DVFS governors."""
+
+import pytest
+
+from repro.power.governor import OndemandGovernor, SpeedShiftGovernor
+from repro.power.states import default_table
+
+
+@pytest.fixture
+def table():
+    return default_table()
+
+
+class TestSpeedShift:
+    def test_starts_at_lowest(self, table):
+        gov = SpeedShiftGovernor(table)
+        assert gov.current_p_state == len(table.p_states) - 1
+
+    def test_ramps_toward_p0_under_full_load(self, table):
+        gov = SpeedShiftGovernor(table, step_interval_s=1e-6)
+        schedule = gov.on_active(0.0, 1.0, level=1.0)
+        assert schedule[0] == (0.0, len(table.p_states) - 1)
+        assert schedule[-1][1] == 0
+        # One state per step, monotone toward P0.
+        indices = [p for _, p in schedule]
+        assert indices == sorted(indices, reverse=True)
+
+    def test_short_interval_truncates_ramp(self, table):
+        gov = SpeedShiftGovernor(table, step_interval_s=10e-6)
+        schedule = gov.on_active(0.0, 25e-6, level=1.0)
+        assert schedule[-1][1] > 0  # did not reach P0
+
+    def test_holds_p_state_over_short_idle(self, table):
+        gov = SpeedShiftGovernor(table, step_interval_s=1e-6, hold_s=1e-3)
+        gov.on_active(0.0, 1.0, level=1.0)
+        assert gov.on_idle(1.0, 1.0005) == 0  # held at P0
+
+    def test_parks_after_long_idle(self, table):
+        gov = SpeedShiftGovernor(table, step_interval_s=1e-6, hold_s=1e-3)
+        gov.on_active(0.0, 1.0, level=1.0)
+        assert gov.on_idle(1.0, 1.1) == len(table.p_states) - 1
+
+    def test_light_load_targets_mid_table(self, table):
+        gov = SpeedShiftGovernor(table, step_interval_s=1e-6)
+        schedule = gov.on_active(0.0, 1.0, level=0.5)
+        assert schedule[-1][1] == (len(table.p_states) - 1) // 2
+
+    def test_rejects_bad_step_interval(self, table):
+        with pytest.raises(ValueError):
+            SpeedShiftGovernor(table, step_interval_s=0)
+
+
+class TestOndemand:
+    def test_no_change_between_samples(self, table):
+        gov = OndemandGovernor(table, sampling_s=10e-3)
+        schedule = gov.on_active(0.0, 5e-3, level=1.0)
+        assert len(schedule) == 1  # still inside the first sample window
+
+    def test_jumps_to_p0_when_busy(self, table):
+        gov = OndemandGovernor(table, sampling_s=10e-3, up_threshold=0.8)
+        schedule = gov.on_active(0.0, 30e-3, level=1.0)
+        assert schedule[-1][1] == 0
+
+    def test_drops_to_lowest_on_idle_sample(self, table):
+        gov = OndemandGovernor(table, sampling_s=10e-3)
+        gov.on_active(0.0, 30e-3, level=1.0)
+        assert gov.current_p_state == 0
+        parked = gov.on_idle(30e-3, 60e-3)
+        assert parked == len(table.p_states) - 1
+
+    def test_partial_util_steps_down_one(self, table):
+        gov = OndemandGovernor(table, sampling_s=10e-3, up_threshold=0.8)
+        gov.on_active(0.0, 30e-3, level=1.0)  # reach P0
+        gov.on_active(30e-3, 50e-3, level=0.5)  # 50% util: step down
+        assert 0 < gov.current_p_state < len(table.p_states) - 1
+
+    def test_reset_restores_cold_state(self, table):
+        gov = OndemandGovernor(table)
+        gov.on_active(0.0, 30e-3, level=1.0)
+        gov.reset()
+        assert gov.current_p_state == len(table.p_states) - 1
+
+    def test_rejects_bad_sampling(self, table):
+        with pytest.raises(ValueError):
+            OndemandGovernor(table, sampling_s=-1.0)

@@ -1,0 +1,68 @@
+"""Tests for the menu-style idle governor."""
+
+import numpy as np
+import pytest
+
+from repro.power.idle import MenuIdleGovernor
+from repro.power.states import default_table
+
+
+@pytest.fixture
+def governor():
+    return MenuIdleGovernor(
+        default_table(), prediction_noise=0.0, rng=np.random.default_rng(0)
+    )
+
+
+class TestSelection:
+    def test_long_idle_selects_deepest(self, governor):
+        chosen = governor.select(1.0)
+        assert chosen.index == governor.table.deepest_c_state.index
+
+    def test_very_short_idle_selects_shallowest(self, governor):
+        chosen = governor.select(2e-6)
+        assert chosen.index == 1
+
+    def test_intermediate_idle_selects_intermediate(self, governor):
+        deep = governor.table.deepest_c_state
+        chosen = governor.select(deep.target_residency_s * 0.5)
+        assert 0 < chosen.index < deep.index
+
+    def test_respects_latency_tolerance(self):
+        table = default_table()
+        strict = MenuIdleGovernor(
+            table, prediction_noise=0.0, latency_tolerance_s=5e-6
+        )
+        chosen = strict.select(1.0)
+        assert chosen.exit_latency_s <= 5e-6
+
+    def test_c0_only_table_returns_c0(self):
+        table = default_table().restrict(allow_c=False)
+        governor = MenuIdleGovernor(table, prediction_noise=0.0)
+        assert governor.select(1.0).index == 0
+
+
+class TestPrediction:
+    def test_zero_noise_predicts_exactly(self, governor):
+        assert governor.predict(0.5) == pytest.approx(0.5)
+
+    def test_noise_spreads_predictions(self):
+        governor = MenuIdleGovernor(
+            default_table(), prediction_noise=0.5, rng=np.random.default_rng(1)
+        )
+        predictions = {round(governor.predict(1.0), 6) for _ in range(20)}
+        assert len(predictions) > 1
+
+    def test_noise_occasionally_changes_selection(self):
+        table = default_table()
+        governor = MenuIdleGovernor(
+            table, prediction_noise=1.0, rng=np.random.default_rng(2)
+        )
+        deep = table.deepest_c_state
+        borderline = deep.target_residency_s
+        selections = {governor.select(borderline).index for _ in range(50)}
+        assert len(selections) > 1
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            MenuIdleGovernor(default_table(), prediction_noise=-0.1)

@@ -1,0 +1,99 @@
+"""Tests for the PMU: activity traces to power-state residencies."""
+
+import numpy as np
+import pytest
+
+from repro.power.idle import MenuIdleGovernor
+from repro.power.pmu import PMU
+from repro.power.states import default_table
+from repro.types import ActivityTrace, Interval
+
+
+def make_pmu(table=None):
+    table = table if table is not None else default_table()
+    return PMU(
+        table,
+        idle_governor=MenuIdleGovernor(table, prediction_noise=0.0),
+        rng=np.random.default_rng(0),
+    )
+
+
+def residency_covering(trace, t):
+    for r in trace.residencies:
+        if r.start <= t < r.end:
+            return r
+    raise AssertionError(f"no residency covers t={t}")
+
+
+class TestCoverage:
+    def test_residencies_tile_the_duration(self):
+        pmu = make_pmu()
+        trace = ActivityTrace([Interval(0.001, 0.002), Interval(0.004, 0.005)], 0.01)
+        result = pmu.run(trace)
+        cursor = 0.0
+        for r in result.residencies:
+            assert r.start == pytest.approx(cursor, abs=1e-12)
+            assert r.end > r.start
+            cursor = r.end
+        assert cursor == pytest.approx(0.01)
+
+    def test_active_intervals_are_c0(self):
+        pmu = make_pmu()
+        trace = ActivityTrace([Interval(0.001, 0.002)], 0.004)
+        result = pmu.run(trace)
+        assert residency_covering(result, 0.0015).c_state == 0
+
+    def test_long_idle_reaches_deep_state(self):
+        pmu = make_pmu()
+        trace = ActivityTrace([Interval(0.0, 0.001)], 0.101)
+        result = pmu.run(trace)
+        deep = pmu.table.deepest_c_state.index
+        assert residency_covering(result, 0.05).c_state == deep
+
+    def test_idle_entry_transition_is_shallow(self):
+        pmu = make_pmu()
+        trace = ActivityTrace([Interval(0.0, 0.001)], 0.101)
+        result = pmu.run(trace)
+        entry = pmu.table.deepest_c_state.entry_latency_s
+        assert residency_covering(result, 0.001 + entry / 2).c_state == 1
+
+    def test_fully_idle_trace(self):
+        pmu = make_pmu()
+        result = pmu.run(ActivityTrace([], 0.05))
+        assert result.residencies
+        assert all(r.c_state > 0 for r in result.residencies)
+
+
+class TestBiosRestrictions:
+    def test_c_disabled_idle_stays_c0(self):
+        table = default_table().restrict(allow_c=False)
+        pmu = make_pmu(table)
+        result = pmu.run(ActivityTrace([], 0.05))
+        assert all(r.c_state == 0 for r in result.residencies)
+
+    def test_p_disabled_always_p0(self):
+        table = default_table().restrict(allow_p=False)
+        pmu = make_pmu(table)
+        trace = ActivityTrace([Interval(0.0, 0.01)], 0.02)
+        result = pmu.run(trace)
+        assert all(r.p_state == 0 for r in result.residencies)
+
+    def test_both_disabled_draws_constant_current(self):
+        table = default_table().restrict(allow_c=False, allow_p=False)
+        pmu = make_pmu(table)
+        trace = ActivityTrace([Interval(0.0, 0.01)], 0.02)
+        result = pmu.run(trace)
+        load = result.current_draw(table.current_a)
+        samples = load.at(np.linspace(0.001, 0.019, 10))
+        assert np.ptp(samples) == pytest.approx(0.0)
+
+
+class TestModulation:
+    def test_active_draws_more_than_idle(self):
+        pmu = make_pmu()
+        trace = ActivityTrace([Interval(0.0, 0.005)], 0.02)
+        result = pmu.run(trace)
+        load = result.current_draw(pmu.table.current_a)
+        active = load.at(np.array([0.004]))[0]
+        idle = load.at(np.array([0.015]))[0]
+        assert active > 10 * idle

@@ -1,0 +1,93 @@
+"""Tests for P/C-state tables."""
+
+import pytest
+
+from repro.power.states import CState, PState, PowerStateTable, default_table
+
+
+class TestValidation:
+    def test_p_states_must_be_contiguous(self):
+        p0 = PState(0, 3e9, 1.1, 10.0)
+        p2 = PState(2, 2e9, 0.9, 6.0)
+        c0 = CState(0, 10.0, 0, 0, 0)
+        with pytest.raises(ValueError, match="contiguous"):
+            PowerStateTable((p0, p2), (c0,))
+
+    def test_c_states_must_start_at_c0(self):
+        p0 = PState(0, 3e9, 1.1, 10.0)
+        c1 = CState(1, 1.0, 1e-6, 1e-6, 1e-6)
+        with pytest.raises(ValueError, match="start at C0"):
+            PowerStateTable((p0,), (c1,))
+
+    def test_c_states_must_increase(self):
+        p0 = PState(0, 3e9, 1.1, 10.0)
+        c0 = CState(0, 10.0, 0, 0, 0)
+        c6 = CState(6, 0.1, 1e-6, 1e-6, 1e-6)
+        c3 = CState(3, 0.5, 1e-6, 1e-6, 1e-6)
+        with pytest.raises(ValueError, match="increasing"):
+            PowerStateTable((p0,), (c0, c6, c3))
+
+    def test_pstate_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            PState(0, -1.0, 1.1, 1.0)
+        with pytest.raises(ValueError):
+            PState(-1, 1e9, 1.1, 1.0)
+
+
+class TestDefaultTable:
+    def test_p0_is_fastest_and_hungriest(self):
+        table = default_table()
+        freqs = [p.frequency_hz for p in table.p_states]
+        currents = [p.active_current_a for p in table.p_states]
+        assert freqs == sorted(freqs, reverse=True)
+        assert currents == sorted(currents, reverse=True)
+
+    def test_deeper_c_states_draw_less(self):
+        table = default_table()
+        idle_currents = [c.idle_current_a for c in table.c_states[1:]]
+        assert idle_currents == sorted(idle_currents, reverse=True)
+
+    def test_deeper_c_states_wake_slower(self):
+        table = default_table()
+        latencies = [c.exit_latency_s for c in table.c_states]
+        assert latencies == sorted(latencies)
+
+    def test_current_in_c0_is_p_state_current(self):
+        table = default_table()
+        assert table.current_a(0, 0) == table.p_state(0).active_current_a
+
+    def test_current_in_idle_is_c_state_current(self):
+        table = default_table()
+        deep = table.deepest_c_state
+        assert table.current_a(0, deep.index) == deep.idle_current_a
+
+    def test_voltage_gating_drops_rail(self):
+        table = default_table()
+        deep = table.deepest_c_state
+        assert deep.gates_voltage
+        assert table.voltage_v(0, deep.index) < table.voltage_v(0, 0)
+
+    def test_clock_gated_states_keep_voltage(self):
+        table = default_table()
+        assert table.voltage_v(0, 1) == table.voltage_v(0, 0)
+
+    def test_unknown_c_state_raises(self):
+        with pytest.raises(KeyError):
+            default_table().c_state(4)
+
+
+class TestRestrict:
+    def test_disable_c_states_leaves_only_c0(self):
+        table = default_table().restrict(allow_c=False)
+        assert [c.index for c in table.c_states] == [0]
+        assert len(table.p_states) > 1
+
+    def test_disable_p_states_pins_p0(self):
+        table = default_table().restrict(allow_p=False)
+        assert len(table.p_states) == 1
+        assert table.p_states[0].index == 0
+
+    def test_disable_both(self):
+        table = default_table().restrict(allow_c=False, allow_p=False)
+        assert len(table.p_states) == 1
+        assert len(table.c_states) == 1

@@ -1,0 +1,73 @@
+"""Tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.power.workload import (
+    alternating_workload,
+    burst_workload,
+    constant_workload,
+    idle_workload,
+)
+
+
+class TestSimpleWorkloads:
+    def test_idle_is_empty(self):
+        trace = idle_workload(1.0)
+        assert trace.intervals == []
+        assert trace.duration == 1.0
+
+    def test_constant_covers_duration(self):
+        trace = constant_workload(2.0, level=0.5)
+        assert len(trace.intervals) == 1
+        assert trace.busy_time == pytest.approx(1.0)
+
+    def test_constant_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            constant_workload(0.0)
+
+
+class TestAlternating:
+    def test_exact_periods_without_jitter(self):
+        trace = alternating_workload(1.0, 0.1, 0.1)
+        starts = [iv.start for iv in trace.intervals]
+        assert starts == pytest.approx([0.0, 0.2, 0.4, 0.6, 0.8])
+        assert all(iv.duration == pytest.approx(0.1) for iv in trace.intervals)
+
+    def test_duty_cycle_controls_busy_fraction(self):
+        trace = alternating_workload(10.0, 0.1, 0.3)
+        assert trace.busy_time / trace.duration == pytest.approx(0.25, rel=0.05)
+
+    def test_jitter_varies_periods(self):
+        trace = alternating_workload(
+            1.0, 0.05, 0.05, jitter=0.3, rng=np.random.default_rng(3)
+        )
+        durations = {round(iv.duration, 6) for iv in trace.intervals}
+        assert len(durations) > 1
+
+    def test_rejects_nonpositive_periods(self):
+        with pytest.raises(ValueError):
+            alternating_workload(1.0, 0.0, 0.1)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ValueError):
+            alternating_workload(1.0, 0.1, 0.1, jitter=-1)
+
+
+class TestBursts:
+    def test_bursts_at_given_times(self):
+        trace = burst_workload(1.0, [0.1, 0.5], 0.02)
+        assert [iv.start for iv in trace.intervals] == pytest.approx([0.1, 0.5])
+
+    def test_overlapping_bursts_merge(self):
+        trace = burst_workload(1.0, [0.1, 0.11], 0.05)
+        assert len(trace.intervals) == 1
+        assert trace.intervals[0].end == pytest.approx(0.16)
+
+    def test_bursts_clipped_to_duration(self):
+        trace = burst_workload(1.0, [0.99], 0.05)
+        assert trace.intervals[-1].end == 1.0
+
+    def test_bursts_outside_duration_dropped(self):
+        trace = burst_workload(1.0, [2.0], 0.05)
+        assert trace.intervals == []

@@ -1,0 +1,75 @@
+"""Tests for the SDR front end (mixing and decimation)."""
+
+import numpy as np
+import pytest
+
+from repro.sdr.frontend import decimate, mix_to_baseband
+
+
+class TestMixing:
+    def test_tone_at_center_lands_at_dc(self):
+        fs = 1e6
+        t = np.arange(10000) / fs
+        tone = np.cos(2 * np.pi * 1e5 * t)
+        baseband = mix_to_baseband(tone, fs, 1e5)
+        spectrum = np.abs(np.fft.fft(baseband))
+        freqs = np.fft.fftfreq(baseband.size, 1 / fs)
+        # Ignore the double-frequency mixing image; a real receiver
+        # low-pass filters it out (see decimate()).
+        in_band = np.abs(freqs) < 1e5
+        hot = np.flatnonzero(in_band)[np.argmax(spectrum[in_band])]
+        assert abs(freqs[hot]) < 200
+
+    def test_offset_tone_lands_at_offset(self):
+        fs = 1e6
+        t = np.arange(10000) / fs
+        tone = np.cos(2 * np.pi * 1.2e5 * t)
+        baseband = mix_to_baseband(tone, fs, 1e5)
+        spectrum = np.abs(np.fft.fft(baseband))
+        freqs = np.fft.fftfreq(baseband.size, 1 / fs)
+        in_band = np.abs(freqs) < 1e5
+        hot = np.flatnonzero(in_band)[np.argmax(spectrum[in_band])]
+        assert freqs[hot] == pytest.approx(2e4, abs=200)
+
+    def test_oscillator_offset_shifts_spectrum(self):
+        fs = 1e6
+        t = np.arange(10000) / fs
+        tone = np.cos(2 * np.pi * 1e5 * t)
+        baseband = mix_to_baseband(tone, fs, 1e5, oscillator_offset_hz=5e3)
+        spectrum = np.abs(np.fft.fft(baseband))
+        freqs = np.fft.fftfreq(baseband.size, 1 / fs)
+        in_band = np.abs(freqs) < 1e5
+        hot = np.flatnonzero(in_band)[np.argmax(spectrum[in_band])]
+        assert freqs[hot] == pytest.approx(-5e3, abs=200)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            mix_to_baseband(np.zeros(8), 0.0, 1e5)
+
+
+class TestDecimation:
+    def test_factor_one_is_identity(self):
+        x = np.arange(10, dtype=complex)
+        assert decimate(x, 1) is x
+
+    def test_output_length(self):
+        x = np.zeros(1000, dtype=complex)
+        assert decimate(x, 4).size == 250
+
+    def test_in_band_tone_survives(self):
+        fs = 1e6
+        t = np.arange(40000) / fs
+        tone = np.exp(2j * np.pi * 2e4 * t)
+        out = decimate(tone, 4)
+        assert np.abs(out[1000:-1000]).mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_out_of_band_tone_suppressed(self):
+        fs = 1e6
+        t = np.arange(40000) / fs
+        tone = np.exp(2j * np.pi * 2.4e5 * t)  # above new Nyquist*0.8
+        out = decimate(tone, 4)
+        assert np.abs(out[1000:-1000]).mean() < 0.1
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            decimate(np.zeros(8, dtype=complex), 0)

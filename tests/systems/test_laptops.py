@@ -1,0 +1,80 @@
+"""Tests for the Table I machine configurations."""
+
+import numpy as np
+import pytest
+
+from repro.osmodel.timers import UnixUsleep, WindowsSleep
+from repro.params import PAPER, TINY
+from repro.power.governor import OndemandGovernor, SpeedShiftGovernor
+from repro.systems.laptops import TABLE_I, by_name
+
+
+class TestTableI:
+    def test_six_machines(self):
+        assert len(TABLE_I) == 6
+
+    def test_vendor_os_arch_match_paper(self):
+        rows = {(m.os_name.split(" ")[0], m.architecture) for m in TABLE_I}
+        assert ("Windows", "Kaby Lake") in rows
+        assert ("macOS", "Broadwell") in rows
+        assert ("Linux", "Haswell") in rows
+        assert ("macOS", "Coffee Lake") in rows
+        assert ("Linux", "SkyLake") in rows
+        assert ("Windows", "Ivy Bridge") in rows
+
+    def test_vrm_frequencies_in_paper_band(self):
+        for m in TABLE_I:
+            assert 250e3 <= m.vrm_frequency_hz <= 1.1e6
+
+    def test_windows_machines_use_coarse_sleep(self):
+        for m in TABLE_I:
+            timer = m.sleep_timer(np.random.default_rng(0), PAPER)
+            if m.is_windows:
+                assert isinstance(timer, WindowsSleep)
+            else:
+                assert isinstance(timer, UnixUsleep)
+
+    def test_modern_architectures_use_speed_shift(self):
+        expectations = {
+            "Kaby Lake": SpeedShiftGovernor,
+            "Broadwell": OndemandGovernor,
+            "Haswell": OndemandGovernor,
+            "Coffee Lake": SpeedShiftGovernor,
+            "SkyLake": SpeedShiftGovernor,
+            "Ivy Bridge": OndemandGovernor,
+        }
+        for m in TABLE_I:
+            table = m.power_table()
+            gov = m.governor(table, PAPER)
+            assert isinstance(gov, expectations[m.architecture])
+
+    def test_unix_bits_are_symmetric(self):
+        # The paper sets LOOP_PERIOD so active ~ idle; realised one-bit
+        # and zero-bit durations should be within ~15% of each other.
+        for m in TABLE_I:
+            if m.is_windows:
+                continue
+            one = m.active_period_s + m.sleep_period_s + 10e-6
+            zero = 12e-6 + 2 * (m.sleep_period_s + 10e-6)
+            assert one == pytest.approx(zero, rel=0.15)
+
+    def test_buck_design_scales_with_profile(self):
+        m = TABLE_I[0]
+        paper_design = m.buck_design(PAPER)
+        tiny_design = m.buck_design(TINY)
+        assert paper_design.switching_frequency_hz == pytest.approx(
+            100 * tiny_design.switching_frequency_hz
+        )
+
+
+class TestLookup:
+    def test_by_name_substring(self):
+        assert by_name("inspiron").architecture == "Haswell"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="no machine"):
+            by_name("thinkstation")
+
+    def test_ambiguous_name(self):
+        with pytest.raises(KeyError, match="ambiguous"):
+            by_name("dell")

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_with_options(self):
+        args = build_parser().parse_args(
+            ["run", "table2", "fig9", "--full", "--seed", "3"]
+        )
+        assert args.ids == ["table2", "fig9"]
+        assert args.full
+        assert args.seed == 3
+
+    def test_send_defaults(self):
+        args = build_parser().parse_args(["send", "hello"])
+        assert args.machine == "Inspiron"
+        assert args.profile == "tiny"
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert "fig9" in out
+
+    def test_send_roundtrip(self, capsys):
+        assert main(["send", "ok", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "received: 'ok'" in out
+
+    def test_keylog_reports_detection(self, capsys):
+        assert main(["keylog", "abc abc", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "keystroke at" in out
+        assert "TPR=" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "fig4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "finished in" in out
+
+    def test_run_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "table99"])
+
+    def test_run_with_report_output(self, capsys, tmp_path):
+        path = tmp_path / "out.md"
+        assert main(["run", "fig4", "--seed", "1", "--output", str(path)]) == 0
+        content = path.read_text()
+        assert content.startswith("# Reproduction report")
+        assert "fig4" in content

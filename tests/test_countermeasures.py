@@ -1,0 +1,101 @@
+"""Tests for the Section VI countermeasure models."""
+
+import numpy as np
+import pytest
+
+from repro.countermeasures import VrmDithering, shielded_scenario
+from repro.covert.link import CovertLink
+from repro.em.environment import near_field_scenario
+from repro.params import TINY
+from repro.types import BurstTrain
+
+
+def periodic_train(f0=1e5, duration=0.02):
+    period = 1.0 / f0
+    times = np.arange(period, duration, period)
+    return BurstTrain(
+        times, np.full(times.size, 1e-5), np.full(times.size, 1.1),
+        duration, period,
+    )
+
+
+class TestVrmDithering:
+    def test_preserves_burst_count(self):
+        train = periodic_train()
+        out = VrmDithering(spread_rel=0.05).apply(
+            train, np.random.default_rng(0)
+        )
+        assert out.count == train.count
+
+    def test_times_stay_sorted_and_nonnegative(self):
+        out = VrmDithering(spread_rel=0.2).apply(
+            periodic_train(), np.random.default_rng(1)
+        )
+        assert np.all(np.diff(out.times) >= -1e-12)
+        assert np.all(out.times >= 0)
+
+    def test_spreads_the_spectral_line(self):
+        from repro.vrm.emission import EmissionModel
+
+        f0, fs = 1e5, 8e5
+        train = periodic_train(f0=f0, duration=0.1)
+        clean = EmissionModel().synthesize(train, fs)
+        dithered_train = VrmDithering(spread_rel=0.05, coherence_s=100e-6).apply(
+            train, np.random.default_rng(2)
+        )
+        dithered = EmissionModel().synthesize(dithered_train, fs)[: clean.size]
+
+        def line_mag(wave):
+            spectrum = np.abs(np.fft.rfft(wave))
+            freqs = np.fft.rfftfreq(wave.size, 1 / fs)
+            return spectrum[np.argmin(np.abs(freqs - f0))]
+
+        assert line_mag(dithered) < 0.5 * line_mag(clean)
+
+    def test_empty_train_passthrough(self):
+        empty = BurstTrain(np.empty(0), np.empty(0), np.empty(0), 1.0, 1e-5)
+        out = VrmDithering().apply(empty, np.random.default_rng(0))
+        assert out.count == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VrmDithering(spread_rel=0.0)
+        with pytest.raises(ValueError):
+            VrmDithering(coherence_s=-1.0)
+
+
+class TestShielding:
+    def test_reduces_link_gain(self):
+        scen = near_field_scenario(1.5e6)
+        shielded = shielded_scenario(scen, 20.0)
+        assert shielded.link_gain() == pytest.approx(
+            scen.link_gain() / 10.0, rel=0.01
+        )
+
+    def test_name_records_shield(self):
+        scen = shielded_scenario(near_field_scenario(1.5e6), 30.0)
+        assert "shield30dB" in scen.name
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(ValueError):
+            shielded_scenario(near_field_scenario(1.5e6), -5.0)
+
+
+class TestEndToEndEffect:
+    def test_dithering_degrades_the_channel(self):
+        payload = np.random.default_rng(0).integers(0, 2, size=80)
+        base = CovertLink(profile=TINY, seed=6).run(payload)
+        dithered = CovertLink(
+            profile=TINY, seed=6, vrm_dithering=VrmDithering(spread_rel=0.05)
+        ).run(payload)
+        base_total = (
+            base.metrics.ber
+            + base.metrics.insertion_probability
+            + base.metrics.deletion_probability
+        )
+        dith_total = (
+            dithered.metrics.ber
+            + dithered.metrics.insertion_probability
+            + dithered.metrics.deletion_probability
+        )
+        assert dith_total > base_total + 0.1

@@ -1,0 +1,90 @@
+"""Coverage for small helpers not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import ook_monte_carlo
+from repro.experiments.common import ExperimentResult, _format
+from repro.types import PowerStateTrace, StateResidency
+
+
+class TestResultFormatting:
+    def test_float_precision(self):
+        assert _format(0.5) == "0.5"
+        assert _format(0.0) == "0"
+        assert _format(3e-6) == "3.00e-06"
+        assert _format(123456.0) == "1.23e+05"
+
+    def test_non_floats_pass_through(self):
+        assert _format(7) == "7"
+        assert _format("text") == "text"
+
+    def test_columns_union_in_order(self):
+        result = ExperimentResult(
+            "x", "t", [{"a": 1}, {"a": 2, "b": 3}, {"c": 4}]
+        )
+        assert result.columns() == ["a", "b", "c"]
+
+    def test_render_pads_missing_cells(self):
+        result = ExperimentResult("x", "t", [{"a": 1}, {"b": 2}])
+        text = result.render()
+        assert "a" in text and "b" in text
+
+
+class TestOokMonteCarlo:
+    def test_high_snr_is_error_free(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=5000)
+        assert ook_monte_carlo(bits, 12.0, rng) == 0.0
+
+    def test_zero_snr_is_half(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, size=5000)
+        assert ook_monte_carlo(bits, 0.0, rng) == pytest.approx(0.5, abs=0.05)
+
+    def test_moderate_snr_matches_q_function(self):
+        from scipy.stats import norm
+
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, size=200_000)
+        snr = 4.0
+        measured = ook_monte_carlo(bits, snr, rng)
+        expected = norm.sf(snr / 2)
+        assert measured == pytest.approx(expected, rel=0.15)
+
+
+class TestPowerStateTraceVoltage:
+    def test_voltage_lookup(self):
+        trace = PowerStateTrace(
+            [StateResidency(0, 1, 0, 0), StateResidency(1, 2, 0, 6)], 2.0
+        )
+        volt = trace.voltage(lambda p, c: 1.1 if c == 0 else 0.6)
+        assert volt.at(np.array([0.5, 1.5])) == pytest.approx([1.1, 0.6])
+
+
+class TestScenarioSnrEstimate:
+    def test_positive_for_strong_signal(self):
+        from repro.em.environment import near_field_scenario
+
+        scen = near_field_scenario(1.5e6, awgn_amplitude=1e-6)
+        assert scen.snr_estimate_db(1.0) > 0
+
+    def test_scales_with_noise_floor(self):
+        from repro.em.environment import near_field_scenario
+
+        quiet = near_field_scenario(1.5e6, awgn_amplitude=1e-6)
+        loud = near_field_scenario(1.5e6, awgn_amplitude=1e-2)
+        assert quiet.snr_estimate_db(1.0) > loud.snr_estimate_db(1.0)
+
+
+class TestPacketFormatProperties:
+    def test_uncoded_bits_accounting(self):
+        from repro.covert.packets import PacketFormat
+
+        fmt = PacketFormat(payload_bits=32, sequence_bits=8)
+        assert fmt.uncoded_bits == 8 + 32 + 8
+
+    def test_header_bits(self):
+        from repro.covert.packets import PacketFormat
+
+        assert PacketFormat(sequence_bits=12).header_bits == 12

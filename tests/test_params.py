@@ -1,0 +1,70 @@
+"""Tests for simulation profiles and scaling invariants."""
+
+import pytest
+
+from repro.params import (
+    KEYLOG,
+    PAPER,
+    PAPER_SDR_SAMPLE_RATE_HZ,
+    PAPER_VRM_FREQUENCY_HZ,
+    REDUCED,
+    TINY,
+    SimProfile,
+    get_profile,
+)
+
+
+class TestStockProfiles:
+    def test_paper_profile_matches_paper_rates(self):
+        assert PAPER.vrm_frequency_hz == PAPER_VRM_FREQUENCY_HZ
+        assert PAPER.sdr_sample_rate_hz == PAPER_SDR_SAMPLE_RATE_HZ
+
+    def test_time_dilation_scales_frequencies_down(self):
+        assert TINY.vrm_frequency_hz == PAPER.vrm_frequency_hz / 100
+        assert REDUCED.vrm_frequency_hz == PAPER.vrm_frequency_hz / 10
+
+    def test_keylog_profile_scales_frequency_not_time(self):
+        assert KEYLOG.time_scale == 1.0
+        assert KEYLOG.vrm_frequency_hz == PAPER.vrm_frequency_hz / 100
+        assert KEYLOG.dilate(1.0) == 1.0
+
+    def test_decimation_factor_is_integer_and_constant(self):
+        for profile in (PAPER, REDUCED, TINY, KEYLOG):
+            assert profile.decimation_factor == 4
+
+    def test_samples_per_carrier_cycle_invariant(self):
+        # Time dilation must preserve the samples-per-VRM-cycle ratio.
+        for profile in (PAPER, REDUCED, TINY):
+            ratio = profile.rf_sample_rate_hz / profile.vrm_frequency_hz
+            assert ratio == pytest.approx(
+                PAPER.rf_sample_rate_hz / PAPER.vrm_frequency_hz
+            )
+
+
+class TestScalingHelpers:
+    def test_dilate_multiplies_by_time_scale(self):
+        assert TINY.dilate(1e-3) == pytest.approx(0.1)
+
+    def test_paper_rate_inverts_dilation(self):
+        simulated_rate = 33.0
+        assert TINY.paper_rate(simulated_rate) == pytest.approx(3300.0)
+
+    def test_dilate_then_rate_roundtrip(self):
+        bit_period = 270e-6
+        dilated = TINY.dilate(bit_period)
+        assert TINY.paper_rate(1.0 / dilated) == pytest.approx(1.0 / bit_period)
+
+    def test_scaled_returns_modified_copy(self):
+        custom = TINY.scaled(time_scale=50.0)
+        assert custom.time_scale == 50.0
+        assert TINY.time_scale == 100.0  # original untouched
+
+
+class TestProfileLookup:
+    def test_lookup_by_name(self):
+        assert get_profile("paper") is PAPER
+        assert get_profile("tiny") is TINY
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="keylog"):
+            get_profile("bogus")

@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.align import align_bits
+from repro.core.coding import (
+    ParityCode,
+    bits_to_bytes,
+    bytes_to_bits,
+    hamming_decode,
+    hamming_encode,
+)
+from repro.core.sync import FrameFormat, strip_header
+from repro.core.timing import fill_missing_starts, signaling_time
+from repro.dsp.detection import bimodal_threshold
+from repro.types import ActivityTrace, Interval, PiecewiseConstant
+from repro.vrm.buck import BuckConverter, BuckDesign
+
+bit_lists = st.lists(st.integers(0, 1), min_size=0, max_size=120)
+
+
+class TestCodingProperties:
+    @given(data=st.binary(min_size=0, max_size=64))
+    def test_bytes_bits_roundtrip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    @given(bits=bit_lists)
+    def test_hamming_clean_roundtrip(self, bits):
+        decoded, corrected = hamming_decode(hamming_encode(bits))
+        n = len(bits)
+        assert decoded[:n].tolist() == list(bits)
+        assert corrected == 0
+
+    @given(
+        bits=st.lists(st.integers(0, 1), min_size=4, max_size=60),
+        error_pos=st.integers(0, 10_000),
+    )
+    def test_hamming_corrects_any_single_error(self, bits, error_pos):
+        code = hamming_encode(bits)
+        corrupted = code.copy()
+        corrupted[error_pos % code.size] ^= 1
+        decoded, corrected = hamming_decode(corrupted)
+        assert decoded[: len(bits)].tolist() == list(bits)
+        assert corrected == 1
+
+    @given(bits=bit_lists, block=st.integers(1, 16))
+    def test_parity_roundtrip(self, bits, block):
+        code = ParityCode(block_size=block)
+        decoded, errors = code.decode(code.encode(bits))
+        assert decoded[: len(bits)].tolist() == list(bits)
+        assert errors == 0
+
+
+class TestAlignmentProperties:
+    @given(tx=bit_lists, rx=bit_lists)
+    def test_counts_reconcile_lengths(self, tx, rx):
+        m = align_bits(tx, rx)
+        # Matched pairs seen from both sides must agree.
+        assert len(tx) - m.deletions == len(rx) - m.insertions
+        assert m.bit_errors <= min(len(tx), len(rx))
+
+    @given(tx=bit_lists)
+    def test_self_alignment_is_perfect(self, tx):
+        m = align_bits(tx, tx)
+        assert m.bit_errors == m.insertions == m.deletions == 0
+
+    @given(tx=st.lists(st.integers(0, 1), min_size=2, max_size=80),
+           drop=st.integers(0, 1000))
+    def test_single_deletion_detected(self, tx, drop):
+        rx = list(tx)
+        del rx[drop % len(tx)]
+        m = align_bits(tx, rx)
+        assert m.bit_errors + m.insertions + m.deletions == 1
+        assert m.deletions == 1
+
+    @given(tx=bit_lists, rx=bit_lists)
+    def test_symmetry_of_indels(self, tx, rx):
+        forward = align_bits(tx, rx)
+        backward = align_bits(rx, tx)
+        assert forward.insertions == backward.deletions
+        assert forward.deletions == backward.insertions
+        assert forward.bit_errors == backward.bit_errors
+
+
+class TestFramingProperties:
+    @given(payload=st.lists(st.integers(0, 1), min_size=1, max_size=80))
+    def test_strip_header_inverts_frame(self, payload):
+        fmt = FrameFormat()
+        recovered = strip_header(fmt.frame(payload), fmt)
+        assert recovered is not None
+        assert recovered.tolist() == list(payload)
+
+
+class TestTimingProperties:
+    @given(
+        period=st.floats(5.0, 50.0),
+        n=st.integers(5, 60),
+    )
+    def test_signaling_time_exact_on_clean_starts(self, period, n):
+        starts = np.arange(n) * period
+        assert signaling_time(starts) == pytest.approx(period, rel=1e-6)
+
+    @given(
+        period=st.floats(10.0, 40.0),
+        n=st.integers(6, 40),
+        missing=st.integers(1, 5),
+    )
+    def test_fill_missing_restores_count(self, period, n, missing):
+        starts = np.arange(n) * period
+        drop = np.unique((np.arange(missing) * 7 + 1) % (n - 2) + 1)
+        kept = np.delete(starts, drop)
+        filled = fill_missing_starts(kept, period, int(starts[-1]) + 1)
+        assert filled.size == n
+
+
+class TestThresholdProperties:
+    @given(
+        lo=st.floats(0.1, 10.0),
+        separation=st.floats(5.0, 100.0),
+        n=st.integers(30, 200),
+    )
+    def test_bimodal_threshold_separates_two_clusters(
+        self, lo, separation, n
+    ):
+        rng = np.random.default_rng(0)
+        hi = lo * separation
+        values = np.concatenate(
+            [
+                rng.normal(lo, lo * 0.02, n),
+                rng.normal(hi, hi * 0.02, n),
+            ]
+        )
+        thr = bimodal_threshold(values)
+        assert lo < thr < hi
+
+
+class TestPhysicsProperties:
+    @settings(deadline=None)
+    @given(current=st.floats(0.05, 16.0))
+    def test_buck_charge_conservation(self, current):
+        design = BuckDesign(switching_frequency_hz=1e6)
+        buck = BuckConverter(design, rng=np.random.default_rng(0))
+        duration = 1e-3
+        load = PiecewiseConstant(np.array([0.0]), np.array([current]), duration)
+        bursts = buck.simulate(load)
+        drawn = current * duration
+        delivered = bursts.charges.sum() if bursts.count else 0.0
+        slack = max(design.fire_charge_c, current * design.period_s)
+        assert abs(drawn - delivered) <= slack + 1e-12
+
+    @settings(deadline=None)
+    @given(
+        spans=st.lists(
+            st.tuples(st.floats(0.0, 0.9), st.floats(0.01, 0.1)),
+            min_size=0,
+            max_size=8,
+        )
+    )
+    def test_merged_traces_never_exceed_unity(self, spans):
+        intervals = []
+        cursor = 0.0
+        for offset, length in spans:
+            start = cursor + offset * 0.05
+            intervals.append(Interval(start, start + length, 1.0))
+            cursor = start + length
+        duration = (intervals[-1].end if intervals else 0.0) + 1.0
+        a = ActivityTrace(intervals, duration)
+        b = ActivityTrace(list(intervals), duration)
+        merged = a.merged_with(b)
+        times = np.linspace(0, duration * 0.999, 50)
+        assert np.all(merged.levels_at(times) <= 1.0 + 1e-12)

@@ -1,0 +1,59 @@
+"""Tests for Markdown report generation."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.reporting import result_to_markdown, results_to_markdown, write_report
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment_id="t1",
+        title="Demo table",
+        rows=[{"a": 1, "b": 0.5}, {"a": 2, "b": 3.0e-6}],
+        notes=["a note"],
+    )
+
+
+class TestMarkdown:
+    def test_section_structure(self, result):
+        md = result_to_markdown(result)
+        assert md.startswith("## t1: Demo table")
+        assert "| a | b |" in md
+        assert "> a note" in md
+
+    def test_row_values_present(self, result):
+        md = result_to_markdown(result)
+        assert "| 1 | 0.5 |" in md
+        assert "3.00e-06" in md
+
+    def test_empty_rows(self):
+        md = result_to_markdown(ExperimentResult("x", "empty", [], []))
+        assert "## x: empty" in md
+
+    def test_document_assembly(self, result):
+        md = results_to_markdown([result, result], title="Run", preamble="pre")
+        assert md.startswith("# Run")
+        assert md.count("## t1") == 2
+        assert "pre" in md
+
+    def test_write_report(self, result, tmp_path):
+        path = tmp_path / "report.md"
+        write_report([result], str(path), title="T")
+        content = path.read_text()
+        assert content.startswith("# T")
+        assert content.endswith("\n")
+
+
+class TestRunnerIntegration:
+    def test_runner_returns_results_for_report(self):
+        from repro.experiments.runner import run_experiments
+
+        sink = []
+        results = run_experiments(["fig4"], echo=sink.append, seed=1)
+        assert len(results) == 1
+        assert results[0].experiment_id == "fig4"
+        assert any("fig4" in line for line in sink)
+        md = results_to_markdown(results)
+        assert "fig4" in md

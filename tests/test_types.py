@@ -1,0 +1,144 @@
+"""Tests for the shared value types."""
+
+import numpy as np
+import pytest
+
+from repro.types import (
+    ActivityTrace,
+    BurstTrain,
+    Interval,
+    IQCapture,
+    Keystroke,
+    PiecewiseConstant,
+    PowerStateTrace,
+    StateResidency,
+)
+
+
+class TestInterval:
+    def test_duration(self):
+        assert Interval(1.0, 3.5).duration == pytest.approx(2.5)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="ends before"):
+            Interval(2.0, 1.0)
+
+    def test_rejects_level_out_of_range(self):
+        with pytest.raises(ValueError, match="level"):
+            Interval(0.0, 1.0, level=1.5)
+
+
+class TestActivityTrace:
+    def test_rejects_overlapping_intervals(self):
+        with pytest.raises(ValueError, match="overlap"):
+            ActivityTrace([Interval(0, 2), Interval(1, 3)], 3.0)
+
+    def test_rejects_duration_shorter_than_content(self):
+        with pytest.raises(ValueError, match="duration"):
+            ActivityTrace([Interval(0, 2)], 1.0)
+
+    def test_levels_at_inside_and_outside(self):
+        trace = ActivityTrace([Interval(1, 2, 0.5)], 3.0)
+        levels = trace.levels_at(np.array([0.5, 1.5, 2.5]))
+        assert levels.tolist() == [0.0, 0.5, 0.0]
+
+    def test_levels_at_empty_trace(self):
+        trace = ActivityTrace([], 1.0)
+        assert trace.levels_at(np.array([0.5])).tolist() == [0.0]
+
+    def test_merge_sums_and_clips(self):
+        a = ActivityTrace([Interval(0, 2, 0.7)], 4.0)
+        b = ActivityTrace([Interval(1, 3, 0.7)], 4.0)
+        merged = a.merged_with(b)
+        mids = np.array([0.5, 1.5, 2.5, 3.5])
+        assert merged.levels_at(mids) == pytest.approx([0.7, 1.0, 0.7, 0.0])
+
+    def test_merge_preserves_duration(self):
+        a = ActivityTrace([Interval(0, 1)], 5.0)
+        b = ActivityTrace([Interval(2, 3)], 3.5)
+        assert a.merged_with(b).duration == 5.0
+
+    def test_busy_time_is_level_weighted(self):
+        trace = ActivityTrace([Interval(0, 2, 0.5), Interval(3, 4, 1.0)], 5.0)
+        assert trace.busy_time == pytest.approx(2.0)
+
+
+class TestPiecewiseConstant:
+    def test_at_samples_correct_segment(self):
+        pc = PiecewiseConstant(np.array([0.0, 1.0]), np.array([5.0, 7.0]), 2.0)
+        assert pc.at(np.array([0.5, 1.5])) == pytest.approx([5.0, 7.0])
+
+    def test_at_clamps_before_first_segment(self):
+        pc = PiecewiseConstant(np.array([0.0]), np.array([3.0]), 1.0)
+        assert pc.at(np.array([-1.0])) == pytest.approx([3.0])
+
+    def test_segments_include_final_duration(self):
+        pc = PiecewiseConstant(np.array([0.0, 1.0]), np.array([1.0, 2.0]), 4.0)
+        assert pc.segments() == [(0.0, 1.0, 1.0), (1.0, 4.0, 2.0)]
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            PiecewiseConstant(np.array([0.0]), np.array([1.0, 2.0]), 1.0)
+
+    def test_rejects_nonzero_first_start(self):
+        with pytest.raises(ValueError, match="t=0"):
+            PiecewiseConstant(np.array([0.5]), np.array([1.0]), 1.0)
+
+    def test_rejects_unsorted_starts(self):
+        with pytest.raises(ValueError, match="sorted"):
+            PiecewiseConstant(np.array([0.0, 2.0, 1.0]), np.ones(3), 3.0)
+
+
+class TestPowerStateTrace:
+    def _trace(self):
+        return PowerStateTrace(
+            [StateResidency(0, 1, 0, 0), StateResidency(1, 3, 7, 6)], 3.0
+        )
+
+    def test_current_draw_uses_lookup(self):
+        load = self._trace().current_draw(lambda p, c: 10.0 if c == 0 else 0.1)
+        assert load.at(np.array([0.5, 2.0])) == pytest.approx([10.0, 0.1])
+
+    def test_time_in_c_state(self):
+        assert self._trace().time_in_c_state(6) == pytest.approx(2.0)
+
+
+class TestBurstTrain:
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(ValueError, match="sorted"):
+            BurstTrain(
+                np.array([1.0, 0.5]),
+                np.ones(2),
+                np.ones(2),
+                2.0,
+                1e-6,
+            )
+
+    def test_rejects_misaligned_arrays(self):
+        with pytest.raises(ValueError, match="align"):
+            BurstTrain(np.array([0.5]), np.ones(2), np.ones(2), 2.0, 1e-6)
+
+    def test_count(self):
+        train = BurstTrain(np.array([0.1, 0.2]), np.ones(2), np.ones(2), 1.0, 1e-6)
+        assert train.count == 2
+
+
+class TestIQCapture:
+    def test_duration(self):
+        cap = IQCapture(np.zeros(2400, dtype=np.complex64), 2400.0, 1e6)
+        assert cap.duration == pytest.approx(1.0)
+
+    def test_baseband_offset_signs(self):
+        cap = IQCapture(np.zeros(8, dtype=np.complex64), 2400.0, 1.5e6)
+        assert cap.baseband_offset(1.0e6) == pytest.approx(-0.5e6)
+        assert cap.baseband_offset(2.0e6) == pytest.approx(0.5e6)
+
+
+class TestKeystroke:
+    def test_dwell(self):
+        ks = Keystroke(1.0, 1.08, "a")
+        assert ks.dwell == pytest.approx(0.08)
+
+    def test_rejects_release_before_press(self):
+        with pytest.raises(ValueError, match="released before"):
+            Keystroke(1.0, 0.9, "a")

@@ -1,0 +1,145 @@
+"""Tests for the buck converter's integrate-and-fire phase shedding."""
+
+import numpy as np
+import pytest
+
+from repro.types import PiecewiseConstant
+from repro.vrm.buck import BuckConverter, BuckDesign
+
+
+def design(f0=1e6, max_load=16.0, shed=0.12, jitter=0.0):
+    return BuckDesign(
+        switching_frequency_hz=f0,
+        max_load_a=max_load,
+        shed_fraction=shed,
+        period_jitter_rel=jitter,
+    )
+
+
+def constant_load(current, duration):
+    return PiecewiseConstant(np.array([0.0]), np.array([current]), duration)
+
+
+class TestFullLoad:
+    def test_fires_every_period(self):
+        buck = BuckConverter(design())
+        bursts = buck.simulate(constant_load(16.0, 1e-3))
+        assert bursts.count == pytest.approx(1000, abs=2)
+
+    def test_burst_charge_equals_period_charge(self):
+        buck = BuckConverter(design())
+        bursts = buck.simulate(constant_load(16.0, 1e-4))
+        expected = 16.0 * 1e-6
+        assert np.allclose(bursts.charges[1:], expected)
+
+    def test_spectral_line_amplitude_tracks_current(self):
+        # Line amplitude at f0 ~ charge per period / period ~ load amps.
+        buck = BuckConverter(design())
+        hi = buck.simulate(constant_load(16.0, 1e-3))
+        lo = buck.simulate(constant_load(8.0, 1e-3))
+        rate_hi = hi.count / 1e-3
+        rate_lo = lo.count / 1e-3
+        amp_hi = np.median(hi.charges) * rate_hi
+        amp_lo = np.median(lo.charges) * rate_lo
+        assert amp_hi / amp_lo == pytest.approx(2.0, rel=0.05)
+
+
+class TestPhaseShedding:
+    def test_light_load_sheds_periods(self):
+        buck = BuckConverter(design())
+        light = buck.simulate(constant_load(0.15, 1e-3))
+        # 0.15 A against a 1.92 A*us fire threshold: roughly every 13th
+        # period fires.
+        assert 50 < light.count < 110
+
+    def test_shed_burst_charge_is_fire_threshold(self):
+        d = design()
+        buck = BuckConverter(d)
+        light = buck.simulate(constant_load(0.15, 1e-3))
+        assert np.median(light.charges) == pytest.approx(
+            d.fire_charge_c, rel=0.15
+        )
+
+    def test_shedding_threshold_boundary(self):
+        d = design(shed=0.12)
+        buck = BuckConverter(d)
+        at_threshold = buck.simulate(constant_load(0.12 * 16.0, 1e-4))
+        assert at_threshold.count == pytest.approx(100, abs=2)
+
+    def test_zero_load_never_fires(self):
+        buck = BuckConverter(design())
+        bursts = buck.simulate(constant_load(0.0, 1e-3))
+        assert bursts.count == 0
+
+
+class TestChargeConservation:
+    def test_total_charge_delivered_matches_load(self):
+        # Integral of load current ~ total burst charge (plus the final
+        # not-yet-fired deficit, bounded by one fire quantum).
+        d = design()
+        buck = BuckConverter(d)
+        for current in (0.15, 1.0, 8.0, 16.0):
+            bursts = buck.simulate(constant_load(current, 2e-3))
+            drawn = current * 2e-3
+            delivered = bursts.charges.sum()
+            assert abs(drawn - delivered) <= max(
+                d.fire_charge_c, current * d.period_s
+            ) + 1e-12
+
+    def test_deficit_carries_across_segments(self):
+        d = design()
+        buck = BuckConverter(d)
+        # Two light-load half-segments must fire like one continuous one.
+        split = PiecewiseConstant(
+            np.array([0.0, 1e-3]), np.array([0.15, 0.15]), 2e-3
+        )
+        merged = constant_load(0.15, 2e-3)
+        assert buck.simulate(split).count == pytest.approx(
+            BuckConverter(d).simulate(merged).count, abs=1
+        )
+
+
+class TestTransitions:
+    def test_active_idle_trace_modulates_rate(self):
+        d = design()
+        buck = BuckConverter(d)
+        load = PiecewiseConstant(
+            np.array([0.0, 1e-3]), np.array([16.0, 0.15]), 2e-3
+        )
+        bursts = buck.simulate(load)
+        active = np.count_nonzero(bursts.times < 1e-3)
+        idle = np.count_nonzero(bursts.times >= 1e-3)
+        assert active > 8 * idle
+
+    def test_voltage_recorded_per_burst(self):
+        d = design()
+        buck = BuckConverter(d)
+        load = constant_load(16.0, 1e-4)
+        volts = PiecewiseConstant(np.array([0.0]), np.array([0.8]), 1e-4)
+        bursts = buck.simulate(load, volts)
+        assert np.allclose(bursts.voltages, 0.8)
+
+    def test_jitter_perturbs_times(self):
+        smooth = BuckConverter(design(jitter=0.0)).simulate(
+            constant_load(16.0, 1e-4)
+        )
+        jittered = BuckConverter(
+            design(jitter=0.01), rng=np.random.default_rng(3)
+        ).simulate(constant_load(16.0, 1e-4))
+        assert not np.allclose(
+            smooth.times[: jittered.count], jittered.times[: smooth.count]
+        )
+
+
+class TestDesignValidation:
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            BuckDesign(switching_frequency_hz=0.0)
+
+    def test_rejects_bad_shed_fraction(self):
+        with pytest.raises(ValueError):
+            BuckDesign(switching_frequency_hz=1e6, shed_fraction=1.5)
+
+    def test_fire_charge_formula(self):
+        d = design(f0=1e6, max_load=10.0, shed=0.2)
+        assert d.fire_charge_c == pytest.approx(0.2 * 10.0 * 1e-6)

@@ -1,0 +1,46 @@
+"""Tests for the VID slew-rate interface."""
+
+import numpy as np
+import pytest
+
+from repro.types import PiecewiseConstant
+from repro.vrm.vid import VidInterface
+
+
+class TestVid:
+    def test_constant_request_passes_through(self):
+        req = PiecewiseConstant(np.array([0.0]), np.array([1.1]), 1.0)
+        out = VidInterface().apply(req)
+        assert np.allclose(out.at(np.linspace(0, 0.99, 7)), 1.1)
+
+    def test_step_becomes_ramp(self):
+        req = PiecewiseConstant(
+            np.array([0.0, 0.5]), np.array([0.7, 1.1]), 1.0
+        )
+        out = VidInterface(slew_v_per_s=10.0).apply(req)
+        # 0.4 V at 10 V/s = 40 ms ramp; midway through it the voltage is
+        # strictly between the endpoints.
+        mid = out.at(np.array([0.5 + 0.02]))[0]
+        assert 0.7 < mid < 1.1
+
+    def test_reaches_target_after_ramp(self):
+        req = PiecewiseConstant(
+            np.array([0.0, 0.5]), np.array([0.7, 1.1]), 1.0
+        )
+        out = VidInterface(slew_v_per_s=100.0).apply(req)
+        assert out.at(np.array([0.9]))[0] == pytest.approx(1.1)
+
+    def test_fast_slew_approximates_request(self):
+        req = PiecewiseConstant(
+            np.array([0.0, 0.5]), np.array([0.7, 1.1]), 1.0
+        )
+        out = VidInterface(slew_v_per_s=1e6).apply(req)
+        assert out.at(np.array([0.51]))[0] == pytest.approx(1.1)
+
+    def test_empty_request_passes_through(self):
+        req = PiecewiseConstant(np.empty(0), np.empty(0), 1.0)
+        assert VidInterface().apply(req) is req
+
+    def test_rejects_bad_slew(self):
+        with pytest.raises(ValueError):
+            VidInterface(slew_v_per_s=0.0)
