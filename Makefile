@@ -1,0 +1,20 @@
+PY := PYTHONPATH=src python
+
+.PHONY: test bench bench-parallel smoke-parallel
+
+test:
+	$(PY) -m pytest -x -q
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# Time the execution subsystem (trial pool + chain cache) and record
+# the numbers, including extra_info speedups, to BENCH_parallel.json.
+bench-parallel:
+	$(PY) -m pytest benchmarks/test_bench_parallel.py \
+		--benchmark-only --benchmark-json=BENCH_parallel.json
+
+# Quick end-to-end sanity check of the process pool: one experiment
+# fanned out across two workers.
+smoke-parallel:
+	$(PY) -m repro run table2 --jobs 2

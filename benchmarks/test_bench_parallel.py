@@ -1,0 +1,103 @@
+"""Bench the execution subsystem: trial-pool fan-out and chain cache.
+
+Two claims are benchmarked:
+
+* ``parallel_map`` never changes results — the Table II rows at
+  ``jobs=4`` are compared against a serial reference run.  The speedup
+  itself is only asserted when the host actually has spare cores
+  (CI containers are often single-core, where fan-out can't win).
+* the content-addressed chain cache makes receiver-only sweeps cheap —
+  the same link is decoded under four acquisition configs; after the
+  first config the whole analog chain (PMU/VRM/emission/propagation/
+  SDR) is served from ``k_capture`` hits, and the error rates are
+  bit-identical to the uncached sweep.
+
+Timings for both sides of each comparison land in
+``benchmark.extra_info`` so `--benchmark-json` output (see
+``make bench-parallel``) records the actual speedups.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.acquisition import AcquisitionConfig
+from repro.core.decoder import DecoderConfig
+from repro.covert.link import CovertLink
+from repro.exec import execution_scope, get_chain_cache, reset_chain_cache
+from repro.exec.pool import default_jobs
+from repro.experiments import get_experiment
+from repro.params import TINY
+from repro.systems.laptops import DELL_INSPIRON
+
+
+def test_bench_parallel_table2(benchmark):
+    """Table II at jobs=4 vs serial: identical rows, timed fan-out."""
+    run = get_experiment("table2")
+
+    with execution_scope(jobs=1, cache_enabled=False):
+        t0 = time.perf_counter()
+        serial = run(quick=True, seed=0)
+        serial_s = time.perf_counter() - t0
+
+    def fan_out():
+        with execution_scope(jobs=4, cache_enabled=False):
+            return run(quick=True, seed=0)
+
+    parallel = benchmark.pedantic(fan_out, rounds=1, iterations=1)
+    parallel_s = benchmark.stats.stats.mean
+
+    assert parallel.rows == serial.rows  # bit-identical at any jobs
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["jobs4_s"] = round(parallel_s, 3)
+    benchmark.extra_info["cpus"] = default_jobs()
+    if default_jobs() >= 4:
+        assert parallel_s < 0.75 * serial_s
+    elif default_jobs() >= 2:
+        assert parallel_s < serial_s
+
+
+def _receiver_sweep():
+    """Decode one link under four acquisition configs (chain is fixed)."""
+    payload = np.random.default_rng(48).integers(0, 2, size=120)
+    rates = {}
+    for fft_size, hop in ((256, 16), (256, 32), (256, 64), (512, 32)):
+        link = CovertLink(
+            machine=DELL_INSPIRON,
+            profile=TINY,
+            seed=17,
+            decoder_config=DecoderConfig(
+                acquisition=AcquisitionConfig(fft_size=fft_size, hop=hop)
+            ),
+        )
+        m = link.run(payload).metrics
+        rates[(fft_size, hop)] = (
+            m.ber + m.insertion_probability + m.deletion_probability
+        )
+    return rates
+
+
+def test_bench_chain_cache_receiver_sweep(benchmark):
+    """Receiver-only sweep: cached pass skips the analog chain."""
+    reset_chain_cache()
+    with execution_scope(cache_enabled=False):
+        t0 = time.perf_counter()
+        uncached = _receiver_sweep()
+        uncached_s = time.perf_counter() - t0
+
+    def cached_sweep():
+        with execution_scope(cache_enabled=True):
+            rates = _receiver_sweep()
+            return rates, get_chain_cache().stats()
+
+    (cached, stats) = benchmark.pedantic(cached_sweep, rounds=1, iterations=1)
+    cached_s = benchmark.stats.stats.mean
+
+    assert cached == uncached  # cache is transparent
+    assert stats["hits"] >= 3  # configs 2..4 hit the capture layer
+    benchmark.extra_info["uncached_s"] = round(uncached_s, 3)
+    benchmark.extra_info["cached_s"] = round(cached_s, 3)
+    benchmark.extra_info["speedup"] = round(uncached_s / cached_s, 2)
+    benchmark.extra_info["cache"] = stats
+    assert cached_s < 0.7 * uncached_s
+    reset_chain_cache()

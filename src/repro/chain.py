@@ -6,6 +6,32 @@ Both applications (covert channel, keylogging) drive the same physics:
              -> propagation/noise -> antenna -> SDR -> IQ capture
 
 This module is the single implementation of that chain.
+
+Caching
+-------
+The digital and VRM stages are pure functions of (machine, activity,
+profile, BIOS flags, dithering config) *and the RNG state on entry*, so
+their outputs are content-addressed in :mod:`repro.exec.cache` under a
+layered key chain::
+
+    k_power   = H(machine, activity, profile, flags, rng_state)
+    k_burst   = H(k_power)
+    k_dither  = H(k_burst, dithering)     # only when dithering is on
+    k_emit    = H(k_dither)
+    k_capture = H(k_emit, scenario)
+
+A sweep that varies only the receiver (decoder/detector config) hits
+``k_capture`` and skips the whole analog chain; one that varies only
+the propagation scenario hits ``k_emit`` and skips the PMU + VRM; one
+that varies only the dithering hits ``k_burst`` and re-runs just the
+dither + synthesis.
+Every cached value stores the RNG state on *exit* from its stage, which
+a hit restores, so cached and uncached runs are bit-identical.
+
+Each stage is also bracketed with :func:`repro.exec.timing.stage`, so
+harnesses that collect timings see where the wall-clock went
+(``pmu`` / ``vrm`` / ``dither`` / ``emission`` / ``propagation`` /
+``sdr``).
 """
 
 from __future__ import annotations
@@ -13,11 +39,13 @@ from __future__ import annotations
 import numpy as np
 
 from .em.environment import Scenario
+from .exec.cache import CHAIN_SCHEMA, fingerprint, get_chain_cache
+from .exec.timing import stage
 from .params import SimProfile
 from .power.pmu import PMU
 from .sdr.rtlsdr import RtlSdrV3
 from .systems.laptops import Machine
-from .types import ActivityTrace, IQCapture, PowerStateTrace
+from .types import ActivityTrace, BurstTrain, IQCapture, PowerStateTrace
 from .vrm.buck import BuckConverter
 from .vrm.emission import EmissionModel
 from .vrm.vid import VidInterface
@@ -34,6 +62,71 @@ def paper_tuned_frequency_hz(machine: Machine) -> float:
     return 1.5 * machine.vrm_frequency_hz
 
 
+# ---------------------------------------------------------------------------
+# Cache keys
+
+
+def _activity_fingerprint(activity: ActivityTrace):
+    """Activity content as arrays (fast to hash even for long traces)."""
+    return (
+        np.array([iv.start for iv in activity.intervals]),
+        np.array([iv.end for iv in activity.intervals]),
+        np.array([iv.level for iv in activity.intervals]),
+        activity.duration,
+    )
+
+
+def _rng_state(rng: np.random.Generator) -> dict:
+    return rng.bit_generator.state
+
+
+def power_chain_key(
+    machine: Machine,
+    activity: ActivityTrace,
+    profile: SimProfile,
+    rng: np.random.Generator,
+    allow_c_states: bool,
+    allow_p_states: bool,
+) -> str:
+    """Content address of the power-state stage (and chain prefix root)."""
+    return fingerprint(
+        CHAIN_SCHEMA,
+        "power",
+        machine,
+        _activity_fingerprint(activity),
+        profile,
+        allow_c_states,
+        allow_p_states,
+        _rng_state(rng),
+    )
+
+
+def _chain_keys(
+    machine: Machine,
+    activity: ActivityTrace,
+    profile: SimProfile,
+    rng: np.random.Generator,
+    allow_c_states: bool,
+    allow_p_states: bool,
+    vrm_dithering,
+):
+    """The layered (power, burst, dither, emit) key chain for one run."""
+    k_power = power_chain_key(
+        machine, activity, profile, rng, allow_c_states, allow_p_states
+    )
+    k_burst = fingerprint(CHAIN_SCHEMA, "burst", k_power)
+    if vrm_dithering is not None:
+        k_dither = fingerprint(CHAIN_SCHEMA, "dither", k_burst, vrm_dithering)
+    else:
+        k_dither = k_burst
+    k_emit = fingerprint(CHAIN_SCHEMA, "emit", k_dither)
+    return k_power, k_burst, k_dither, k_emit
+
+
+# ---------------------------------------------------------------------------
+# Stages
+
+
 def run_power_chain(
     machine: Machine,
     activity: ActivityTrace,
@@ -44,9 +137,51 @@ def run_power_chain(
     allow_p_states: bool = True,
 ) -> PowerStateTrace:
     """Digital half: activity -> power-state residencies."""
-    table = machine.power_table(allow_c=allow_c_states, allow_p=allow_p_states)
-    pmu = PMU(table, governor=machine.governor(table, profile), rng=rng)
-    return pmu.run(activity)
+    cache = get_chain_cache()
+    key = None
+    if cache is not None:
+        key = power_chain_key(
+            machine, activity, profile, rng, allow_c_states, allow_p_states
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            power_trace, state_after = hit
+            rng.bit_generator.state = state_after
+            return power_trace
+    with stage("pmu"):
+        table = machine.power_table(allow_c=allow_c_states, allow_p=allow_p_states)
+        pmu = PMU(table, governor=machine.governor(table, profile), rng=rng)
+        power_trace = pmu.run(activity)
+    if cache is not None:
+        cache.put(key, (power_trace, _rng_state(rng)))
+    return power_trace
+
+
+def _simulate_bursts(
+    machine: Machine,
+    profile: SimProfile,
+    power_trace: PowerStateTrace,
+    rng: np.random.Generator,
+    *,
+    allow_c_states: bool,
+    allow_p_states: bool,
+) -> BurstTrain:
+    """VRM half: power states -> raw (pre-dithering) burst train."""
+    with stage("vrm"):
+        table = machine.power_table(allow_c=allow_c_states, allow_p=allow_p_states)
+        load = power_trace.current_draw(table.current_a)
+        requested_v = power_trace.voltage(table.voltage_v)
+        realized_v = VidInterface().apply(requested_v)
+        buck = BuckConverter(machine.buck_design(profile), rng=rng)
+        return buck.simulate(load, realized_v)
+
+
+def _synthesize(
+    machine: Machine, profile: SimProfile, bursts: BurstTrain
+) -> np.ndarray:
+    with stage("emission"):
+        emitter = EmissionModel(field_gain=machine.emission_strength)
+        return emitter.synthesize(bursts, profile.rf_sample_rate_hz)
 
 
 def render_emission(
@@ -65,24 +200,130 @@ def render_emission(
     countermeasure (:class:`repro.countermeasures.VrmDithering`) to the
     burst train before synthesis.
     """
-    table = machine.power_table(allow_c=allow_c_states, allow_p=allow_p_states)
-    power_trace = run_power_chain(
+    cache = get_chain_cache()
+    if cache is None:
+        power_trace = run_power_chain(
+            machine,
+            activity,
+            profile,
+            rng,
+            allow_c_states=allow_c_states,
+            allow_p_states=allow_p_states,
+        )
+        bursts = _simulate_bursts(
+            machine,
+            profile,
+            power_trace,
+            rng,
+            allow_c_states=allow_c_states,
+            allow_p_states=allow_p_states,
+        )
+        if vrm_dithering is not None:
+            with stage("dither"):
+                bursts = vrm_dithering.apply(
+                    bursts, rng, time_scale=profile.time_scale
+                )
+        return _synthesize(machine, profile, bursts)
+
+    # Derive the whole key chain from the inputs alone, then probe from
+    # the coarsest layer down so a hit skips every stage it covers.
+    k_power, k_burst, k_dither, k_emit = _chain_keys(
         machine,
         activity,
         profile,
         rng,
+        allow_c_states,
+        allow_p_states,
+        vrm_dithering,
+    )
+
+    hit = cache.get(k_emit)
+    if hit is not None:
+        wave, state_after = hit
+        rng.bit_generator.state = state_after
+        return wave
+
+    if vrm_dithering is not None:
+        hit = cache.get(k_dither)
+        if hit is not None:
+            bursts, state_after = hit
+            rng.bit_generator.state = state_after
+        else:
+            bursts = _cached_bursts(
+                cache,
+                k_power,
+                k_burst,
+                machine,
+                activity,
+                profile,
+                rng,
+                allow_c_states=allow_c_states,
+                allow_p_states=allow_p_states,
+            )
+            with stage("dither"):
+                bursts = vrm_dithering.apply(
+                    bursts, rng, time_scale=profile.time_scale
+                )
+            cache.put(k_dither, (bursts, _rng_state(rng)))
+    else:
+        bursts = _cached_bursts(
+            cache,
+            k_power,
+            k_burst,
+            machine,
+            activity,
+            profile,
+            rng,
+            allow_c_states=allow_c_states,
+            allow_p_states=allow_p_states,
+        )
+    wave = _synthesize(machine, profile, bursts)
+    # Synthesis is deterministic: RNG state is unchanged from the
+    # dither/burst stage, so storing the current state is exact.
+    cache.put(k_emit, (wave, _rng_state(rng)))
+    return wave
+
+
+def _cached_bursts(
+    cache,
+    k_power: str,
+    k_burst: str,
+    machine: Machine,
+    activity: ActivityTrace,
+    profile: SimProfile,
+    rng: np.random.Generator,
+    *,
+    allow_c_states: bool,
+    allow_p_states: bool,
+) -> BurstTrain:
+    """Raw (pre-dithering) burst train via the layered cache."""
+    hit = cache.get(k_burst)
+    if hit is not None:
+        bursts, state_after = hit
+        rng.bit_generator.state = state_after
+        return bursts
+    hit = cache.get(k_power)
+    if hit is not None:
+        power_trace, state_after = hit
+        rng.bit_generator.state = state_after
+    else:
+        with stage("pmu"):
+            table = machine.power_table(
+                allow_c=allow_c_states, allow_p=allow_p_states
+            )
+            pmu = PMU(table, governor=machine.governor(table, profile), rng=rng)
+            power_trace = pmu.run(activity)
+        cache.put(k_power, (power_trace, _rng_state(rng)))
+    bursts = _simulate_bursts(
+        machine,
+        profile,
+        power_trace,
+        rng,
         allow_c_states=allow_c_states,
         allow_p_states=allow_p_states,
     )
-    load = power_trace.current_draw(table.current_a)
-    requested_v = power_trace.voltage(table.voltage_v)
-    realized_v = VidInterface().apply(requested_v)
-    buck = BuckConverter(machine.buck_design(profile), rng=rng)
-    bursts = buck.simulate(load, realized_v)
-    if vrm_dithering is not None:
-        bursts = vrm_dithering.apply(bursts, rng, time_scale=profile.time_scale)
-    emitter = EmissionModel(field_gain=machine.emission_strength)
-    return emitter.synthesize(bursts, profile.rf_sample_rate_hz)
+    cache.put(k_burst, (bursts, _rng_state(rng)))
+    return bursts
 
 
 def render_capture(
@@ -96,7 +337,30 @@ def render_capture(
     allow_p_states: bool = True,
     vrm_dithering=None,
 ) -> IQCapture:
-    """Full chain: activity -> complex baseband IQ capture."""
+    """Full chain: activity -> complex baseband IQ capture.
+
+    The finished capture is itself cached, keyed by the emission key
+    plus the scenario, so a sweep that varies only the *receiver*
+    (decoder/detector configuration) pays for the analog chain once.
+    """
+    cache = get_chain_cache()
+    k_capture = None
+    if cache is not None:
+        _, _, _, k_emit = _chain_keys(
+            machine,
+            activity,
+            profile,
+            rng,
+            allow_c_states,
+            allow_p_states,
+            vrm_dithering,
+        )
+        k_capture = fingerprint(CHAIN_SCHEMA, "capture", k_emit, scenario)
+        hit = cache.get(k_capture)
+        if hit is not None:
+            capture, state_after = hit
+            rng.bit_generator.state = state_after
+            return capture
     wave = render_emission(
         machine,
         activity,
@@ -106,11 +370,16 @@ def render_capture(
         allow_p_states=allow_p_states,
         vrm_dithering=vrm_dithering,
     )
-    antenna_v = scenario.apply(wave, profile.rf_sample_rate_hz, rng)
-    sdr = RtlSdrV3(sample_rate=profile.sdr_sample_rate_hz)
-    return sdr.capture(
-        antenna_v,
-        profile.rf_sample_rate_hz,
-        tuned_frequency_hz(machine, profile),
-        rng,
-    )
+    with stage("propagation"):
+        antenna_v = scenario.apply(wave, profile.rf_sample_rate_hz, rng)
+    with stage("sdr"):
+        sdr = RtlSdrV3(sample_rate=profile.sdr_sample_rate_hz)
+        capture = sdr.capture(
+            antenna_v,
+            profile.rf_sample_rate_hz,
+            tuned_frequency_hz(machine, profile),
+            rng,
+        )
+    if cache is not None:
+        cache.put(k_capture, (capture, _rng_state(rng)))
+    return capture

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .params import get_profile
@@ -53,6 +54,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the results as a Markdown report to this path",
     )
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for independent trials (0 = all CPUs); "
+        "results are bit-identical at any worker count",
+    )
+    run_p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the content-addressed chain cache to this "
+        "directory (shared across runs and workers)",
+    )
+    run_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed chain cache",
+    )
 
     send_p = sub.add_parser("send", help="covert-channel demo")
     send_p.add_argument("text", help="ASCII text to exfiltrate")
@@ -75,12 +96,34 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args) -> int:
+    from .exec.pool import default_jobs
     from .experiments.runner import run_experiments
 
     ids = None if args.ids == ["all"] else args.ids
     profile = get_profile(args.profile) if args.profile else None
+    jobs = args.jobs
+    if jobs is not None and jobs < 0:
+        print(f"error: --jobs must be >= 0, got {jobs}", file=sys.stderr)
+        return 2
+    if jobs == 0:
+        jobs = default_jobs()
+    if args.cache_dir is not None:
+        cache_path = Path(args.cache_dir)
+        if cache_path.exists() and not cache_path.is_dir():
+            print(
+                f"error: --cache-dir {args.cache_dir} exists and is not "
+                "a directory",
+                file=sys.stderr,
+            )
+            return 2
     results = run_experiments(
-        ids, profile=profile, quick=not args.full, seed=args.seed
+        ids,
+        profile=profile,
+        quick=not args.full,
+        seed=args.seed,
+        jobs=jobs,
+        use_cache=False if args.no_cache else None,
+        cache_dir=args.cache_dir,
     )
     if args.output:
         from .reporting import write_report

@@ -9,11 +9,12 @@ DP columns.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..core.align import ChannelMetrics
+from ..exec.pool import parallel_map
 from .link import CovertLink, LinkResult
 
 
@@ -49,33 +50,44 @@ class ChannelEvaluation:
         }
 
 
+def _execute_trial(task: Tuple[CovertLink, np.ndarray]) -> LinkResult:
+    """One link trial; module-level so it crosses the process boundary."""
+    run_link, payload = task
+    return run_link.run(payload)
+
+
 def evaluate_link(
     link: CovertLink,
     bits_per_run: int = 200,
     n_runs: int = 5,
     label: Optional[str] = None,
     payload_seed: int = 1234,
+    jobs: Optional[int] = None,
 ) -> ChannelEvaluation:
     """Measure BER/TR/IP/DP over ``n_runs`` random payloads.
 
     Each run uses a fresh payload and a distinct link seed, mirroring
-    the paper's five measurement repetitions per configuration.
+    the paper's five measurement repetitions per configuration.  The
+    payloads and per-trial seeds are derived serially up front, then the
+    independent trials fan out through
+    :func:`repro.exec.pool.parallel_map` (``jobs=None`` reads the active
+    execution config); results are bit-identical at any worker count.
     """
     if bits_per_run < 16:
         raise ValueError("need at least 16 bits per run")
     if n_runs < 1:
         raise ValueError("need at least one run")
     rng = np.random.default_rng(payload_seed)
-    pooled: Optional[ChannelMetrics] = None
-    rates: List[float] = []
-    runs: List[LinkResult] = []
+    trials: List[Tuple[CovertLink, np.ndarray]] = []
     for i in range(n_runs):
         payload = rng.integers(0, 2, size=bits_per_run)
-        run_link = replace(link, seed=link.seed + 1000 * (i + 1))
-        result = run_link.run(payload)
+        trials.append((replace(link, seed=link.seed + 1000 * (i + 1)), payload))
+    runs = parallel_map(_execute_trial, trials, jobs=jobs)
+    pooled: Optional[ChannelMetrics] = None
+    rates: List[float] = []
+    for result in runs:
         pooled = result.metrics if pooled is None else pooled.combined(result.metrics)
         rates.append(result.transmission_rate_bps)
-        runs.append(result)
     return ChannelEvaluation(
         label=label if label is not None else link.machine.name,
         metrics=pooled,

@@ -1,0 +1,99 @@
+"""Process-wide execution configuration.
+
+A single :class:`ExecutionConfig` governs how much parallelism the
+harnesses may use and how the chain cache behaves.  It lives in a
+:mod:`contextvars` variable so nested scopes (and the worker processes,
+which get a copy through the pool initializer) see a consistent value
+without every function signature threading ``jobs=`` downward.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+#: Default in-memory cache budget (bytes).  Emission waveforms in the
+#: stock profiles are a few MB each, so this holds dozens of trials.
+DEFAULT_CACHE_BYTES = 256 * 2**20
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How trials execute: worker count and cache policy.
+
+    Attributes
+    ----------
+    jobs:
+        Worker processes for :func:`repro.exec.pool.parallel_map`.
+        ``1`` (the default) runs every trial serially in-process, which
+        is the reference execution order; results are bit-identical at
+        any worker count because trial seeds are derived up front.
+    cache_enabled:
+        Master switch for the content-addressed chain cache.
+    cache_dir:
+        Optional on-disk cache directory, shared between processes and
+        across runs.  ``None`` keeps the cache in memory only.
+    cache_bytes:
+        In-memory LRU budget in bytes.
+    """
+
+    jobs: int = 1
+    cache_enabled: bool = True
+    cache_dir: Optional[str] = None
+    cache_bytes: int = DEFAULT_CACHE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.cache_bytes < 0:
+            raise ValueError("cache_bytes must be non-negative")
+
+
+_config: ContextVar[ExecutionConfig] = ContextVar(
+    "repro_execution_config", default=ExecutionConfig()
+)
+
+
+def get_execution_config() -> ExecutionConfig:
+    """The active execution configuration."""
+    return _config.get()
+
+
+def set_execution_config(config: ExecutionConfig) -> None:
+    """Install ``config`` as the active configuration."""
+    _config.set(config)
+
+
+@contextmanager
+def execution_scope(
+    *,
+    jobs=_UNSET,
+    cache_enabled=_UNSET,
+    cache_dir=_UNSET,
+    cache_bytes=_UNSET,
+) -> Iterator[ExecutionConfig]:
+    """Temporarily override parts of the execution configuration.
+
+    Fields left at their sentinel default inherit the enclosing scope,
+    so ``execution_scope(jobs=4)`` changes only the worker count.
+    """
+    changes = {
+        key: value
+        for key, value in (
+            ("jobs", jobs),
+            ("cache_enabled", cache_enabled),
+            ("cache_dir", cache_dir),
+            ("cache_bytes", cache_bytes),
+        )
+        if value is not _UNSET
+    }
+    new = replace(_config.get(), **changes)
+    token = _config.set(new)
+    try:
+        yield new
+    finally:
+        _config.reset(token)

@@ -1,0 +1,97 @@
+"""Trial fan-out: ``parallel_map`` over independent, seed-carrying tasks.
+
+The one rule that makes worker count irrelevant to results: *tasks own
+their seeds*.  Callers derive every trial's seed (or payload) up front,
+serially, and pass it inside the task; workers never share an RNG
+stream.  ``parallel_map`` then preserves input order, so the reduction
+on the caller's side sees exactly the sequence a serial run produces.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from .context import get_execution_config, set_execution_config
+from .timing import collect_timings, merge_timings
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """The effective worker count: explicit arg, else the active config."""
+    if jobs is None:
+        jobs = get_execution_config().jobs
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    return jobs
+
+
+def _init_worker(config) -> None:
+    # Workers run their trials serially: a worker spawning its own pool
+    # would oversubscribe and can deadlock on nested executors.
+    set_execution_config(replace(config, jobs=1))
+
+
+def _worker_call(fn: Callable[[T], R], item: T):
+    with collect_timings() as timings:
+        result = fn(item)
+    return result, dict(timings)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: Optional[int] = None,
+) -> List[R]:
+    """Apply ``fn`` to every item, fanning out over worker processes.
+
+    Parameters
+    ----------
+    fn:
+        A module-level callable (it crosses the process boundary).
+    items:
+        The tasks.  Each must carry everything its trial needs,
+        including its seed; tasks and results are pickled.
+    jobs:
+        Worker count; None reads the active :class:`ExecutionConfig`.
+        ``1`` runs serially in-process with no pickling at all - the
+        reference path.
+
+    Results are returned in input order.  Stage timings recorded inside
+    workers are merged into the caller's active collector.
+    """
+    tasks: Sequence[T] = list(items)
+    n_jobs = min(resolve_jobs(jobs), max(len(tasks), 1))
+    if n_jobs <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    config = get_execution_config()
+    try:
+        executor = ProcessPoolExecutor(
+            max_workers=n_jobs,
+            initializer=_init_worker,
+            initargs=(config,),
+        )
+    except (OSError, PermissionError):
+        # Environments without working process support (restricted
+        # sandboxes) degrade to the serial reference path.
+        return [fn(task) for task in tasks]
+    with executor:
+        futures = [executor.submit(_worker_call, fn, task) for task in tasks]
+        results: List[R] = []
+        for future in futures:
+            result, timings = future.result()
+            merge_timings(timings)
+            results.append(result)
+    return results
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` value for this host (all visible CPUs)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1

@@ -1,0 +1,68 @@
+"""Per-stage wall-clock accounting.
+
+``chain.py`` brackets each expensive stage with :func:`stage`; a
+harness (the experiment runner, a benchmark) opens a
+:func:`collect_timings` scope around the whole run and gets back a
+``{stage: seconds}`` dict.  When trials run in worker processes, the
+pool captures each worker's stage dict alongside the result and merges
+it into the parent's collector, so the totals account for all CPU time
+regardless of where it was spent.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterator, Mapping, Optional
+
+_accumulator: ContextVar[Optional[Dict[str, float]]] = ContextVar(
+    "repro_stage_timings", default=None
+)
+
+
+@contextmanager
+def collect_timings() -> Iterator[Dict[str, float]]:
+    """Collect stage timings recorded anywhere inside this scope."""
+    acc: Dict[str, float] = {}
+    token = _accumulator.set(acc)
+    try:
+        yield acc
+    finally:
+        _accumulator.reset(token)
+
+
+def record_stage(name: str, seconds: float) -> None:
+    """Add ``seconds`` to stage ``name`` in the active collector (if any)."""
+    acc = _accumulator.get()
+    if acc is not None:
+        acc[name] = acc.get(name, 0.0) + seconds
+
+
+def merge_timings(timings: Mapping[str, float]) -> None:
+    """Merge a worker's stage dict into the active collector."""
+    for name, seconds in timings.items():
+        record_stage(name, seconds)
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Time a chain stage; a no-op cost-wise when nobody is collecting."""
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        record_stage(name, time.perf_counter() - started)
+
+
+def format_timings(timings: Mapping[str, float]) -> str:
+    """Render ``{stage: seconds}`` as a compact, stable one-liner."""
+    if not timings:
+        return ""
+    parts = [
+        f"{name} {seconds:.2f}s"
+        for name, seconds in sorted(
+            timings.items(), key=lambda kv: kv[1], reverse=True
+        )
+    ]
+    return ", ".join(parts)

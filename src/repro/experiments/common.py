@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List
 
+from ..exec.timing import format_timings
 from ..params import SimProfile
 
 
@@ -28,6 +29,9 @@ class ExperimentResult:
     title: str
     rows: List[dict]
     notes: List[str] = field(default_factory=list)
+    #: Wall-clock seconds per chain stage (pmu/vrm/emission/...), as
+    #: collected by the runner; includes time spent in worker processes.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     def columns(self) -> List[str]:
         cols: List[str] = []
@@ -55,6 +59,8 @@ class ExperimentResult:
                 lines.append("  ".join(r[c].ljust(widths[c]) for c in cols))
         for note in self.notes:
             lines.append(f"note: {note}")
+        if self.timings:
+            lines.append(f"stage timings: {format_timings(self.timings)}")
         return "\n".join(lines)
 
 

@@ -5,6 +5,8 @@ from __future__ import annotations
 import time
 from typing import Iterable, List, Optional
 
+from ..exec.context import execution_scope
+from ..exec.timing import collect_timings, format_timings
 from ..params import SimProfile
 from .common import ExperimentResult, get_experiment, list_experiments
 
@@ -15,6 +17,9 @@ def run_experiments(
     quick: bool = True,
     seed: int = 0,
     echo=print,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
 ) -> List[ExperimentResult]:
     """Run a set of experiments and echo their rendered tables.
 
@@ -22,19 +27,43 @@ def run_experiments(
     experiment picks its own default profile when ``profile`` is None
     (keystroke experiments use frequency scaling, the rest use time
     dilation).
+
+    ``jobs`` / ``use_cache`` / ``cache_dir`` override the execution
+    configuration for the duration of the batch; None inherits the
+    active config.  Trial fan-out happens *inside* each experiment
+    (rows, repetitions, page loads), so progress still streams one
+    experiment at a time and a fixed seed gives bit-identical tables at
+    any worker count.
     """
     ids = list(experiment_ids) if experiment_ids is not None else list_experiments()
+    overrides = {}
+    if jobs is not None:
+        overrides["jobs"] = jobs
+    if use_cache is not None:
+        overrides["cache_enabled"] = use_cache
+    if cache_dir is not None:
+        overrides["cache_dir"] = cache_dir
     results: List[ExperimentResult] = []
-    for eid in ids:
-        fn = get_experiment(eid)
-        started = time.perf_counter()
-        if profile is None:
-            result = fn(quick=quick, seed=seed)
-        else:
-            result = fn(profile=profile, quick=quick, seed=seed)
-        elapsed = time.perf_counter() - started
-        results.append(result)
-        echo(result.render())
-        echo(f"[{eid} finished in {elapsed:.1f}s]")
-        echo("")
+    with execution_scope(**overrides):
+        for eid in ids:
+            fn = get_experiment(eid)
+            started = time.perf_counter()
+            with collect_timings() as timings:
+                if profile is None:
+                    result = fn(quick=quick, seed=seed)
+                else:
+                    result = fn(profile=profile, quick=quick, seed=seed)
+            elapsed = time.perf_counter() - started
+            result.timings = dict(timings)
+            results.append(result)
+            echo(result.render())
+            summary = f"[{eid} finished in {elapsed:.1f}s"
+            stage_total = sum(timings.values())
+            if timings:
+                summary += (
+                    f"; {stage_total:.1f}s in chain stages "
+                    f"({format_timings(timings)})"
+                )
+            echo(summary + "]")
+            echo("")
     return results

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from ..covert.evaluate import evaluate_link
 from ..covert.link import CovertLink
+from ..exec.pool import parallel_map
 from ..params import SimProfile, TINY
-from ..systems.laptops import TABLE_I
+from ..systems.laptops import Machine, TABLE_I
 from .common import ExperimentResult, register
 
 #: The paper's Table II, for side-by-side reporting.
@@ -19,6 +22,24 @@ PAPER_TABLE_II = {
 }
 
 
+def _evaluate_row(task: Tuple[Machine, SimProfile, int, int, int]) -> dict:
+    """One Table II row (one laptop); runs in a worker at ``jobs > 1``."""
+    machine, profile, seed, bits, runs = task
+    link = CovertLink(machine=machine, profile=profile, seed=seed)
+    ev = evaluate_link(link, bits_per_run=bits, n_runs=runs)
+    paper = PAPER_TABLE_II[machine.name]
+    return {
+        "laptop": machine.name,
+        "OS": machine.os_name,
+        "BER": ev.ber,
+        "TR_bps": ev.transmission_rate_bps,
+        "IP": ev.insertion_probability,
+        "DP": ev.deletion_probability,
+        "paper_BER": paper["BER"],
+        "paper_TR": paper["TR"],
+    }
+
+
 @register("table2")
 def run(
     profile: SimProfile = TINY,
@@ -27,23 +48,10 @@ def run(
 ) -> ExperimentResult:
     bits = 150 if quick else 400
     runs = 2 if quick else 5
-    rows = []
-    for machine in TABLE_I:
-        link = CovertLink(machine=machine, profile=profile, seed=seed)
-        ev = evaluate_link(link, bits_per_run=bits, n_runs=runs)
-        paper = PAPER_TABLE_II[machine.name]
-        rows.append(
-            {
-                "laptop": machine.name,
-                "OS": machine.os_name,
-                "BER": ev.ber,
-                "TR_bps": ev.transmission_rate_bps,
-                "IP": ev.insertion_probability,
-                "DP": ev.deletion_probability,
-                "paper_BER": paper["BER"],
-                "paper_TR": paper["TR"],
-            }
-        )
+    rows = parallel_map(
+        _evaluate_row,
+        [(machine, profile, seed, bits, runs) for machine in TABLE_I],
+    )
     return ExperimentResult(
         experiment_id="table2",
         title="Near-field covert channel: BER/TR/IP/DP per laptop",

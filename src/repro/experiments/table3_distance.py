@@ -16,6 +16,7 @@ from ..chain import paper_tuned_frequency_hz, tuned_frequency_hz
 from ..covert.evaluate import evaluate_link
 from ..covert.link import CovertLink
 from ..em.environment import distance_scenario, through_wall_scenario
+from ..exec.pool import parallel_map
 from ..params import SimProfile, TINY
 from ..systems.laptops import DELL_INSPIRON
 from .common import ExperimentResult, register
@@ -30,46 +31,50 @@ TABLE_III_ROWS: List[Tuple[str, float, float, float, float, bool]] = [
 ]
 
 
+def _evaluate_row(task) -> dict:
+    """One Table III row (one distance/wall setup)."""
+    row_spec, profile, seed, bits, runs = task
+    label, dist, rate_scale, paper_tr, paper_ber, wall = row_spec
+    machine = DELL_INSPIRON
+    band = tuned_frequency_hz(machine, profile)
+    physics = paper_tuned_frequency_hz(machine)
+    if wall:
+        scenario = through_wall_scenario(
+            band, distance_m=dist, physics_frequency_hz=physics
+        )
+    else:
+        scenario = distance_scenario(dist, band, physics_frequency_hz=physics)
+    link = CovertLink(
+        machine=machine,
+        profile=profile,
+        seed=seed,
+        scenario=scenario,
+        rate_scale=rate_scale,
+    )
+    ev = evaluate_link(link, bits_per_run=bits, n_runs=runs, label=label)
+    return {
+        "setup": label,
+        "BER": ev.ber,
+        "TR_bps": ev.transmission_rate_bps,
+        "IP": ev.insertion_probability,
+        "DP": ev.deletion_probability,
+        "paper_TR": paper_tr,
+        "paper_BER": paper_ber,
+    }
+
+
 @register("table3")
 def run(
     profile: SimProfile = TINY,
     quick: bool = True,
     seed: int = 0,
 ) -> ExperimentResult:
-    machine = DELL_INSPIRON
     bits = 150 if quick else 400
     runs = 2 if quick else 5
-    band = tuned_frequency_hz(machine, profile)
-    physics = paper_tuned_frequency_hz(machine)
-    rows = []
-    for label, dist, rate_scale, paper_tr, paper_ber, wall in TABLE_III_ROWS:
-        if wall:
-            scenario = through_wall_scenario(
-                band, distance_m=dist, physics_frequency_hz=physics
-            )
-        else:
-            scenario = distance_scenario(
-                dist, band, physics_frequency_hz=physics
-            )
-        link = CovertLink(
-            machine=machine,
-            profile=profile,
-            seed=seed,
-            scenario=scenario,
-            rate_scale=rate_scale,
-        )
-        ev = evaluate_link(link, bits_per_run=bits, n_runs=runs, label=label)
-        rows.append(
-            {
-                "setup": label,
-                "BER": ev.ber,
-                "TR_bps": ev.transmission_rate_bps,
-                "IP": ev.insertion_probability,
-                "DP": ev.deletion_probability,
-                "paper_TR": paper_tr,
-                "paper_BER": paper_ber,
-            }
-        )
+    rows = parallel_map(
+        _evaluate_row,
+        [(spec, profile, seed, bits, runs) for spec in TABLE_III_ROWS],
+    )
     return ExperimentResult(
         experiment_id="table3",
         title="Covert channel vs distance (loop antenna), incl. through-wall",

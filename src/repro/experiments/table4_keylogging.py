@@ -15,7 +15,7 @@ from ..em.environment import (
     near_field_scenario,
     through_wall_scenario,
 )
-from ..keylog.evaluate import KeylogExperiment
+from ..keylog.evaluate import KeylogExperiment, run_sessions
 from ..params import KEYLOG, SimProfile
 from ..systems.laptops import DELL_PRECISION
 from .common import ExperimentResult, register
@@ -47,25 +47,31 @@ def run(
             through_wall_scenario(band, physics_frequency_hz=physics),
         ),
     ]
+    # One independent trial per (distance, session) cell, fanned out
+    # together so jobs > n_sessions still helps.
+    experiments = [
+        KeylogExperiment(
+            machine=machine,
+            scenario=scenario,
+            profile=profile,
+            seed=seed + 13 * session,
+        )
+        for _, scenario in setups
+        for session in range(n_sessions)
+    ]
+    results = run_sessions(experiments, n_words=n_words)
     rows = []
-    for label, scenario in setups:
-        scores = []
-        for session in range(n_sessions):
-            exp = KeylogExperiment(
-                machine=machine,
-                scenario=scenario,
-                profile=profile,
-                seed=seed + 13 * session,
+    for i, (label, _) in enumerate(setups):
+        cell = results[i * n_sessions : (i + 1) * n_sessions]
+        scores = [
+            (
+                res.true_positive_rate,
+                res.false_positive_rate,
+                res.word_precision,
+                res.word_recall,
             )
-            res = exp.run(n_words=n_words)
-            scores.append(
-                (
-                    res.true_positive_rate,
-                    res.false_positive_rate,
-                    res.word_precision,
-                    res.word_recall,
-                )
-            )
+            for res in cell
+        ]
         mean = np.mean(scores, axis=0)
         paper = PAPER_TABLE_IV[label]
         rows.append(

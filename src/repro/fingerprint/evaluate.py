@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..chain import paper_tuned_frequency_hz, render_capture, tuned_frequency_hz
 from ..em.environment import Scenario, near_field_scenario
+from ..exec.pool import parallel_map
 from ..osmodel import interrupts as irq
 from ..params import KEYLOG, SimProfile
 from ..systems.laptops import DELL_PRECISION, Machine
@@ -68,22 +69,30 @@ class FingerprintExperiment:
         )
 
     def run(
-        self, loads_per_site: int = 6, train_fraction: float = 0.5
+        self,
+        loads_per_site: int = 6,
+        train_fraction: float = 0.5,
+        jobs: Optional[int] = None,
     ) -> FingerprintResult:
-        """Full experiment: capture, featurise, train, score."""
+        """Full experiment: capture, featurise, train, score.
+
+        Each page load is an independent trial with its own RNG stream
+        spawned from ``self.seed`` (``SeedSequence.spawn``), so the
+        (site x load) grid fans out over workers and produces the same
+        features at any worker count.
+        """
         if loads_per_site < 2:
             raise ValueError("need at least 2 loads per site")
-        rng = np.random.default_rng(self.seed)
-        extractor = ActivityFeatureExtractor(
-            self.machine.vrm_frequency_hz / self.profile.total_freq_divisor
+        children = np.random.SeedSequence(self.seed).spawn(
+            len(self.catalog) * loads_per_site
         )
-        features: List[np.ndarray] = []
+        tasks = []
         labels: List[str] = []
-        for site in self.catalog:
-            for _ in range(loads_per_site):
-                capture = self.capture_load(site, rng)
-                features.append(extractor.features(capture))
+        for s, site in enumerate(self.catalog):
+            for load in range(loads_per_site):
+                tasks.append((self, site, children[s * loads_per_site + load]))
                 labels.append(site.name)
+        features = parallel_map(_capture_features, tasks, jobs=jobs)
         features_arr = np.array(features)
         n_train = max(int(loads_per_site * train_fraction), 1)
         train_idx, test_idx = [], []
@@ -104,3 +113,17 @@ class FingerprintExperiment:
             n_train=len(train_idx),
             n_test=len(test_idx),
         )
+
+
+def _capture_features(
+    task: Tuple[FingerprintExperiment, WebsiteProfile, np.random.SeedSequence]
+) -> np.ndarray:
+    """Render one page load and extract its features (worker-safe)."""
+    experiment, site, seed_seq = task
+    rng = np.random.default_rng(seed_seq)
+    capture = experiment.capture_load(site, rng)
+    extractor = ActivityFeatureExtractor(
+        experiment.machine.vrm_frequency_hz
+        / experiment.profile.total_freq_divisor
+    )
+    return extractor.features(capture)

@@ -8,12 +8,13 @@ TPR/FPR plus word precision/recall.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..chain import render_capture, tuned_frequency_hz
 from ..em.environment import Scenario
+from ..exec.pool import parallel_map
 from ..osmodel import interrupts as irq
 from ..params import KEYLOG, SimProfile
 from ..systems.laptops import DELL_PRECISION, Machine
@@ -143,3 +144,29 @@ class KeylogExperiment:
             n_detected=detection.count,
             detection=detection,
         )
+
+
+def _execute_session(
+    task: Tuple[KeylogExperiment, Optional[str], int]
+) -> KeylogResult:
+    """One typing session; module-level so it crosses process boundaries."""
+    experiment, text, n_words = task
+    return experiment.run(text=text, n_words=n_words)
+
+
+def run_sessions(
+    experiments: Sequence[KeylogExperiment],
+    *,
+    text: Optional[str] = None,
+    n_words: int = 50,
+    jobs: Optional[int] = None,
+) -> List[KeylogResult]:
+    """Run several independent keylogging sessions, fanned out.
+
+    Each experiment carries its own seed (and scenario), so the
+    sessions are independent trials: results come back in input order
+    and are bit-identical at any worker count.  Used by the Table IV
+    harness to spread its (distance x session) grid over workers.
+    """
+    tasks = [(experiment, text, n_words) for experiment in experiments]
+    return parallel_map(_execute_session, tasks, jobs=jobs)

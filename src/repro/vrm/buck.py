@@ -108,15 +108,19 @@ class BuckConverter:
             if n_periods <= 0:
                 deficit += current * (end - start)
                 continue
+            # Charge accrued in the fractional period past the last full
+            # switching period; carried into the deficit so segment
+            # boundaries that are not period-aligned do not leak charge.
+            tail_charge = current * ((end - start) - n_periods * T)
             q_per = current * T
             if q_per <= 0.0:
-                deficit += 0.0
+                deficit += tail_charge
                 continue
             # First firing period index (1-based): deficit + n*q_per >= q_fire
             n0 = int(np.ceil(max(q_fire - deficit, 0.0) / q_per))
             n0 = max(n0, 1)
             if n0 > n_periods:
-                deficit += n_periods * q_per
+                deficit += n_periods * q_per + tail_charge
                 continue
             # Subsequent firings every m periods.
             m = max(int(np.ceil(q_fire / q_per)), 1)
@@ -125,7 +129,7 @@ class BuckConverter:
             fire_charges = np.full(fire_idx.size, m * q_per)
             fire_charges[0] = deficit + n0 * q_per
             periods_after_last = n_periods - fire_idx[-1]
-            deficit = periods_after_last * q_per
+            deficit = periods_after_last * q_per + tail_charge
             times.append(fire_times)
             charges.append(fire_charges)
         if times:

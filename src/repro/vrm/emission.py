@@ -88,9 +88,14 @@ class EmissionModel:
         positions = bursts.times * sample_rate
         base = np.floor(positions).astype(np.int64)
         frac = positions - base
-        valid = (base >= 0) & (base < n_samples - 1)
-        np.add.at(wave, base[valid], weights[valid] * (1.0 - frac[valid]))
-        np.add.at(wave, base[valid] + 1, weights[valid] * frac[valid])
+        interior = (base >= 0) & (base < n_samples - 1)
+        np.add.at(wave, base[interior], weights[interior] * (1.0 - frac[interior]))
+        np.add.at(wave, base[interior] + 1, weights[interior] * frac[interior])
+        # A burst landing on the final sample has no right-hand neighbour
+        # for its fractional weight; deposit its full weight there rather
+        # than dropping it.
+        last = base == n_samples - 1
+        np.add.at(wave, base[last], weights[last])
         kernel = self.pulse_kernel(sample_rate, bursts.switching_period)
         if kernel.size > 1:
             wave = fftconvolve(wave, kernel)[: wave.size]

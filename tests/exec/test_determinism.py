@@ -1,0 +1,140 @@
+"""End-to-end guarantees of the execution subsystem:
+
+* worker count never changes results (bit-identical at jobs=1 vs jobs=4);
+* the chain cache never changes results (cached vs uncached identical,
+  including the RNG state left behind).
+"""
+
+import numpy as np
+import pytest
+
+from repro.chain import render_capture, render_emission, tuned_frequency_hz
+from repro.covert.evaluate import evaluate_link
+from repro.covert.link import CovertLink
+from repro.em.environment import near_field_scenario
+from repro.exec import execution_scope, get_chain_cache, reset_chain_cache
+from repro.params import TINY
+from repro.power.workload import alternating_workload
+from repro.systems.laptops import DELL_INSPIRON
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    reset_chain_cache()
+    yield
+    reset_chain_cache()
+
+
+def _evaluate(jobs):
+    link = CovertLink(machine=DELL_INSPIRON, profile=TINY, seed=9)
+    return evaluate_link(link, bits_per_run=60, n_runs=3, jobs=jobs)
+
+
+def _workload():
+    return alternating_workload(
+        TINY.dilate(10e-3), TINY.dilate(0.5e-3), TINY.dilate(0.5e-3)
+    )
+
+
+class TestWorkerCountInvariance:
+    def test_jobs4_bit_identical_to_serial(self):
+        serial = _evaluate(jobs=1)
+        parallel = _evaluate(jobs=4)
+        assert serial.ber == parallel.ber
+        assert serial.insertion_probability == parallel.insertion_probability
+        assert serial.deletion_probability == parallel.deletion_probability
+        assert serial.transmission_rate_bps == parallel.transmission_rate_bps
+        for a, b in zip(serial.runs, parallel.runs):
+            assert np.array_equal(a.tx_bits, b.tx_bits)
+            assert np.array_equal(a.decode.bits, b.decode.bits)
+            assert np.array_equal(a.capture.samples, b.capture.samples)
+
+
+class TestCacheTransparency:
+    def test_emission_identical_and_rng_state_restored(self):
+        workload = _workload()
+
+        def render():
+            rng = np.random.default_rng(11)
+            wave = render_emission(DELL_INSPIRON, workload, TINY, rng)
+            return wave, rng.bit_generator.state
+
+        with execution_scope(cache_enabled=False):
+            wave_off, state_off = render()
+        with execution_scope(cache_enabled=True):
+            wave_cold, state_cold = render()  # populates
+            wave_warm, state_warm = render()  # serves from cache
+            assert get_chain_cache().stats()["hits"] > 0
+        assert np.array_equal(wave_off, wave_cold)
+        assert np.array_equal(wave_off, wave_warm)
+        assert state_off == state_cold == state_warm
+
+    def test_capture_identical_through_full_chain(self):
+        workload = _workload()
+        scenario = near_field_scenario(tuned_frequency_hz(DELL_INSPIRON, TINY))
+
+        def capture():
+            rng = np.random.default_rng(12)
+            cap = render_capture(
+                DELL_INSPIRON, workload, scenario, TINY, rng
+            )
+            return cap, rng.bit_generator.state
+
+        with execution_scope(cache_enabled=False):
+            cap_off, state_off = capture()
+        with execution_scope(cache_enabled=True):
+            capture()  # cold
+            cap_warm, state_warm = capture()
+        assert np.array_equal(cap_off.samples, cap_warm.samples)
+        assert cap_off.center_frequency == cap_warm.center_frequency
+        assert state_off == state_warm
+
+    def test_receiver_sweep_shares_chain_prefix(self):
+        # Varying only the decoder must reuse the cached capture.
+        from repro.core.acquisition import AcquisitionConfig
+        from repro.core.decoder import DecoderConfig
+
+        payload = np.random.default_rng(4).integers(0, 2, size=40)
+        with execution_scope(cache_enabled=True):
+            for hop in (16, 32):
+                link = CovertLink(
+                    machine=DELL_INSPIRON,
+                    profile=TINY,
+                    seed=21,
+                    decoder_config=DecoderConfig(
+                        acquisition=AcquisitionConfig(fft_size=256, hop=hop)
+                    ),
+                )
+                link.run(payload)
+            stats = get_chain_cache().stats()
+        assert stats["hits"] >= 1  # second run served the capture layer
+
+    def test_dithering_config_changes_key(self):
+        from repro.countermeasures import VrmDithering
+
+        workload = _workload()
+        with execution_scope(cache_enabled=True):
+            rng = np.random.default_rng(13)
+            plain = render_emission(DELL_INSPIRON, workload, TINY, rng)
+            rng = np.random.default_rng(13)
+            dithered = render_emission(
+                DELL_INSPIRON,
+                workload,
+                TINY,
+                rng,
+                vrm_dithering=VrmDithering(spread_rel=0.1),
+            )
+        n = min(plain.size, dithered.size)
+        assert not np.array_equal(plain[:n], dithered[:n])
+
+    def test_disk_cache_roundtrip_through_chain(self, tmp_path):
+        workload = _workload()
+        with execution_scope(cache_enabled=True, cache_dir=str(tmp_path)):
+            rng = np.random.default_rng(14)
+            first = render_emission(DELL_INSPIRON, workload, TINY, rng)
+        reset_chain_cache()  # drop the in-memory layer; disk remains
+        with execution_scope(cache_enabled=True, cache_dir=str(tmp_path)):
+            rng = np.random.default_rng(14)
+            second = render_emission(DELL_INSPIRON, workload, TINY, rng)
+            assert get_chain_cache().stats()["hits"] > 0
+        assert np.array_equal(first, second)
