@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-parallel smoke-parallel
+.PHONY: test bench bench-parallel smoke-parallel regress regress-record
 
 test:
 	$(PY) -m pytest -x -q
@@ -18,3 +18,12 @@ bench-parallel:
 # fanned out across two workers.
 smoke-parallel:
 	$(PY) -m repro run table2 --jobs 2
+
+# Signal-quality regression gate: re-run the fixed-seed baseline
+# scenarios and fail on any metric drift (see baselines/*.json).
+regress:
+	$(PY) -m repro regress
+
+# Re-record the baselines after an intentional physics/schema change.
+regress-record:
+	$(PY) -m repro regress --record

@@ -32,6 +32,18 @@ Each stage is also bracketed with :func:`repro.exec.timing.stage`, so
 harnesses that collect timings see where the wall-clock went
 (``pmu`` / ``vrm`` / ``dither`` / ``emission`` / ``propagation`` /
 ``sdr``).
+
+Observability
+-------------
+When tracing is on (:mod:`repro.obs.trace`), every stage emits one
+structured event carrying its cache key prefix, hit/miss disposition,
+duration and an RNG-state digest; when a metrics registry is active
+(:mod:`repro.obs.metrics`), each stage also reports signal-quality
+figures (duty cycle, burst rate, shed fraction, emission RMS, SNR,
+clipping).  Both are single ``ContextVar`` reads when off.  Note that
+under a warm cache the stages a hit skips do not tap (their
+intermediates are never materialised); the baseline regression gate
+therefore runs with the cache disabled.
 """
 
 from __future__ import annotations
@@ -41,6 +53,20 @@ import numpy as np
 from .em.environment import Scenario
 from .exec.cache import CHAIN_SCHEMA, fingerprint, get_chain_cache
 from .exec.timing import stage
+from .obs.metrics import (
+    tap_activity,
+    tap_bursts,
+    tap_capture,
+    tap_emission,
+    tap_propagation,
+)
+from .obs.trace import (
+    key_prefix,
+    rng_digest,
+    span,
+    trace_event,
+    tracing_active,
+)
 from .params import SimProfile
 from .power.pmu import PMU
 from .sdr.rtlsdr import RtlSdrV3
@@ -124,6 +150,31 @@ def _chain_keys(
 
 
 # ---------------------------------------------------------------------------
+# Tracing helpers
+
+
+def _stage_hit(name: str, key, rng: np.random.Generator) -> None:
+    """Trace a stage served from cache (RNG digest is post-restore)."""
+    if tracing_active():
+        trace_event(
+            "stage",
+            name=name,
+            cache="hit",
+            key=key_prefix(key),
+            rng=rng_digest(rng),
+        )
+
+
+def _stage_span(name: str, key, rng: np.random.Generator):
+    """Span for a stage that actually computes (miss, or cache off)."""
+    return span(
+        name,
+        {"cache": "off" if key is None else "miss", "key": key_prefix(key)},
+        lazy=lambda: {"rng": rng_digest(rng)},
+    )
+
+
+# ---------------------------------------------------------------------------
 # Stages
 
 
@@ -147,8 +198,9 @@ def run_power_chain(
         if hit is not None:
             power_trace, state_after = hit
             rng.bit_generator.state = state_after
+            _stage_hit("pmu", key, rng)
             return power_trace
-    with stage("pmu"):
+    with stage("pmu"), _stage_span("pmu", key, rng):
         table = machine.power_table(allow_c=allow_c_states, allow_p=allow_p_states)
         pmu = PMU(table, governor=machine.governor(table, profile), rng=rng)
         power_trace = pmu.run(activity)
@@ -165,9 +217,10 @@ def _simulate_bursts(
     *,
     allow_c_states: bool,
     allow_p_states: bool,
+    key=None,
 ) -> BurstTrain:
     """VRM half: power states -> raw (pre-dithering) burst train."""
-    with stage("vrm"):
+    with stage("vrm"), _stage_span("vrm", key, rng):
         table = machine.power_table(allow_c=allow_c_states, allow_p=allow_p_states)
         load = power_trace.current_draw(table.current_a)
         requested_v = power_trace.voltage(table.voltage_v)
@@ -177,11 +230,16 @@ def _simulate_bursts(
 
 
 def _synthesize(
-    machine: Machine, profile: SimProfile, bursts: BurstTrain
+    machine: Machine, profile: SimProfile, bursts: BurstTrain, key=None
 ) -> np.ndarray:
-    with stage("emission"):
+    with stage("emission"), span(
+        "emission", {"cache": "off" if key is None else "miss", "key": key_prefix(key)}
+    ):
+        tap_bursts(bursts)
         emitter = EmissionModel(field_gain=machine.emission_strength)
-        return emitter.synthesize(bursts, profile.rf_sample_rate_hz)
+        wave = emitter.synthesize(bursts, profile.rf_sample_rate_hz)
+        tap_emission(wave)
+        return wave
 
 
 def render_emission(
@@ -200,6 +258,7 @@ def render_emission(
     countermeasure (:class:`repro.countermeasures.VrmDithering`) to the
     burst train before synthesis.
     """
+    tap_activity(activity)
     cache = get_chain_cache()
     if cache is None:
         power_trace = run_power_chain(
@@ -219,7 +278,7 @@ def render_emission(
             allow_p_states=allow_p_states,
         )
         if vrm_dithering is not None:
-            with stage("dither"):
+            with stage("dither"), _stage_span("dither", None, rng):
                 bursts = vrm_dithering.apply(
                     bursts, rng, time_scale=profile.time_scale
                 )
@@ -241,6 +300,8 @@ def render_emission(
     if hit is not None:
         wave, state_after = hit
         rng.bit_generator.state = state_after
+        _stage_hit("emission", k_emit, rng)
+        tap_emission(wave)
         return wave
 
     if vrm_dithering is not None:
@@ -248,6 +309,7 @@ def render_emission(
         if hit is not None:
             bursts, state_after = hit
             rng.bit_generator.state = state_after
+            _stage_hit("dither", k_dither, rng)
         else:
             bursts = _cached_bursts(
                 cache,
@@ -260,7 +322,7 @@ def render_emission(
                 allow_c_states=allow_c_states,
                 allow_p_states=allow_p_states,
             )
-            with stage("dither"):
+            with stage("dither"), _stage_span("dither", k_dither, rng):
                 bursts = vrm_dithering.apply(
                     bursts, rng, time_scale=profile.time_scale
                 )
@@ -277,7 +339,7 @@ def render_emission(
             allow_c_states=allow_c_states,
             allow_p_states=allow_p_states,
         )
-    wave = _synthesize(machine, profile, bursts)
+    wave = _synthesize(machine, profile, bursts, key=k_emit)
     # Synthesis is deterministic: RNG state is unchanged from the
     # dither/burst stage, so storing the current state is exact.
     cache.put(k_emit, (wave, _rng_state(rng)))
@@ -301,13 +363,15 @@ def _cached_bursts(
     if hit is not None:
         bursts, state_after = hit
         rng.bit_generator.state = state_after
+        _stage_hit("vrm", k_burst, rng)
         return bursts
     hit = cache.get(k_power)
     if hit is not None:
         power_trace, state_after = hit
         rng.bit_generator.state = state_after
+        _stage_hit("pmu", k_power, rng)
     else:
-        with stage("pmu"):
+        with stage("pmu"), _stage_span("pmu", k_power, rng):
             table = machine.power_table(
                 allow_c=allow_c_states, allow_p=allow_p_states
             )
@@ -321,6 +385,7 @@ def _cached_bursts(
         rng,
         allow_c_states=allow_c_states,
         allow_p_states=allow_p_states,
+        key=k_burst,
     )
     cache.put(k_burst, (bursts, _rng_state(rng)))
     return bursts
@@ -360,6 +425,11 @@ def render_capture(
         if hit is not None:
             capture, state_after = hit
             rng.bit_generator.state = state_after
+            _stage_hit("sdr", k_capture, rng)
+            # render_emission is skipped entirely on a capture hit, so
+            # tap the endpoints that are still materialised here.
+            tap_activity(activity)
+            tap_capture(capture, adc_bits=8)
             return capture
     wave = render_emission(
         machine,
@@ -370,9 +440,10 @@ def render_capture(
         allow_p_states=allow_p_states,
         vrm_dithering=vrm_dithering,
     )
-    with stage("propagation"):
+    with stage("propagation"), _stage_span("propagation", k_capture, rng):
         antenna_v = scenario.apply(wave, profile.rf_sample_rate_hz, rng)
-    with stage("sdr"):
+        tap_propagation(wave, antenna_v, scenario)
+    with stage("sdr"), _stage_span("sdr", k_capture, rng):
         sdr = RtlSdrV3(sample_rate=profile.sdr_sample_rate_hz)
         capture = sdr.capture(
             antenna_v,
@@ -380,6 +451,7 @@ def render_capture(
             tuned_frequency_hz(machine, profile),
             rng,
         )
+        tap_capture(capture, sdr.bits)
     if cache is not None:
         cache.put(k_capture, (capture, _rng_state(rng)))
     return capture

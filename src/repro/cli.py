@@ -11,6 +11,9 @@ Subcommands
     print what the receiver recovered.
 ``keylog <text>``
     Demo: type a string and print the detected keystroke timeline.
+``regress [--record]``
+    Compare (or re-record) the fixed-seed metric baselines in
+    ``baselines/`` - the signal-quality regression gate.
 """
 
 from __future__ import annotations
@@ -74,6 +77,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the content-addressed chain cache",
     )
+    run_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write structured stage/cache/pool events as JSONL to FILE",
+    )
+    run_p.add_argument(
+        "--manifest-dir",
+        default=None,
+        metavar="DIR",
+        help="write per-experiment run manifests to DIR "
+        "(default: alongside --output when given)",
+    )
+
+    regress_p = sub.add_parser(
+        "regress",
+        help="signal-quality regression gate against recorded baselines",
+    )
+    regress_p.add_argument(
+        "--record",
+        action="store_true",
+        help="re-record the baselines instead of comparing against them",
+    )
+    regress_p.add_argument(
+        "--baseline-dir",
+        default=None,
+        metavar="DIR",
+        help="baseline directory (default: ./baselines)",
+    )
+    regress_p.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to one scenario (repeatable; default: all)",
+    )
 
     send_p = sub.add_parser("send", help="covert-channel demo")
     send_p.add_argument("text", help="ASCII text to exfiltrate")
@@ -116,6 +155,9 @@ def _cmd_run(args) -> int:
                 file=sys.stderr,
             )
             return 2
+    manifest_dir = args.manifest_dir
+    if manifest_dir is None and args.output:
+        manifest_dir = str(Path(args.output).resolve().parent)
     results = run_experiments(
         ids,
         profile=profile,
@@ -124,6 +166,8 @@ def _cmd_run(args) -> int:
         jobs=jobs,
         use_cache=False if args.no_cache else None,
         cache_dir=args.cache_dir,
+        trace=args.trace,
+        manifest_dir=manifest_dir,
     )
     if args.output:
         from .reporting import write_report
@@ -138,6 +182,19 @@ def _cmd_run(args) -> int:
         )
         print(f"report written to {args.output}")
     return 0
+
+
+def _cmd_regress(args) -> int:
+    from .obs.baseline import DEFAULT_BASELINE_DIR, compare, record
+
+    directory = args.baseline_dir or DEFAULT_BASELINE_DIR
+    if args.record:
+        for path in record(directory, scenarios=args.scenario):
+            print(f"baseline recorded: {path}")
+        return 0
+    report = compare(directory, scenarios=args.scenario)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_send(args) -> int:
@@ -194,6 +251,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "regress":
+        return _cmd_regress(args)
     if args.command == "send":
         return _cmd_send(args)
     if args.command == "keylog":

@@ -95,6 +95,31 @@ def hamming_decode(code_bits: Iterable[int]) -> Tuple[np.ndarray, int]:
     return blocks[:, :4].reshape(-1), corrected
 
 
+def rz_encode(bits: Iterable[int]) -> np.ndarray:
+    """Return-to-zero line code: bit 1 -> chips (1, 0), bit 0 -> (0, 0).
+
+    The paper's transmitter signals a 1 as a busy half-period followed
+    by an idle half-period, so every 1 produces a rising edge and the
+    line always returns to idle between symbols.  Output has two chips
+    per input bit.
+    """
+    arr = as_bit_array(bits)
+    chips = np.zeros(arr.size * 2, dtype=int)
+    chips[0::2] = arr
+    return chips
+
+
+def rz_decode(chips: Iterable[int]) -> np.ndarray:
+    """Inverse of :func:`rz_encode`: the first chip of each pair.
+
+    A trailing partial pair (odd chip count, from upstream
+    insertions/deletions) is dropped.
+    """
+    arr = as_bit_array(chips)
+    usable = (arr.size // 2) * 2
+    return arr[:usable:2].copy()
+
+
 @dataclass(frozen=True)
 class ParityCode:
     """Even-parity blocks: ``block_size`` data bits + 1 parity bit.

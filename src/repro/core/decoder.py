@@ -23,6 +23,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..dsp.detection import bimodal_threshold
+from ..obs.metrics import tap_receiver
 from ..types import IQCapture
 from .acquisition import AcquisitionConfig, Envelope, acquire
 from .edges import EdgeConfig, coarse_symbol_frames, detect_bit_starts
@@ -154,6 +155,7 @@ class BatchDecoder:
         expected_frames = self._expected_frames(envelope)
         starts = detect_bit_starts(envelope, expected_frames, self.config.edges)
         if starts.size < 3:
+            tap_receiver(np.empty(0), starts.size)
             return DecodeResult(
                 bits=np.empty(0, dtype=int),
                 starts=starts,
@@ -169,6 +171,7 @@ class BatchDecoder:
             envelope, starts, skip_fraction=self.config.skip_fraction
         )
         bits, thresholds = self._label_batches(powers)
+        tap_receiver(powers, starts.size)
         return DecodeResult(
             bits=bits,
             starts=starts,

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..core.align import ChannelMetrics
 from ..exec.pool import parallel_map
+from ..obs.metrics import get_metrics
 from .link import CovertLink, LinkResult
 
 
@@ -88,9 +89,22 @@ def evaluate_link(
     for result in runs:
         pooled = result.metrics if pooled is None else pooled.combined(result.metrics)
         rates.append(result.transmission_rate_bps)
-    return ChannelEvaluation(
+    evaluation = ChannelEvaluation(
         label=label if label is not None else link.machine.name,
         metrics=pooled,
         transmission_rate_bps=float(np.mean(rates)),
         runs=runs,
     )
+    registry = get_metrics()
+    if registry is not None:
+        registry.histogram("covert.ber").observe(evaluation.ber)
+        registry.histogram("covert.insertion_probability").observe(
+            evaluation.insertion_probability
+        )
+        registry.histogram("covert.deletion_probability").observe(
+            evaluation.deletion_probability
+        )
+        registry.histogram("covert.transmission_rate_bps").observe(
+            evaluation.transmission_rate_bps
+        )
+    return evaluation

@@ -30,6 +30,7 @@ from typing import Any, Optional, Tuple
 
 import numpy as np
 
+from ..obs.trace import key_prefix, trace_event
 from .context import get_execution_config
 
 #: Bump when the chain's stage semantics change, so stale disk caches
@@ -137,19 +138,25 @@ class ChainCache:
         if entry is not None:
             self._entries.move_to_end(key)
             self.hits += 1
+            trace_event("cache", op="get", key=key_prefix(key), hit=True,
+                        layer="memory")
             return copy.deepcopy(entry[0])
         value = self._disk_read(key)
         if value is not None:
             self._remember(key, value)
             self.hits += 1
+            trace_event("cache", op="get", key=key_prefix(key), hit=True,
+                        layer="disk")
             return copy.deepcopy(value)
         self.misses += 1
+        trace_event("cache", op="get", key=key_prefix(key), hit=False)
         return None
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` (memory always; disk when configured)."""
         self._remember(key, copy.deepcopy(value))
         self._disk_write(key, value)
+        trace_event("cache", op="put", key=key_prefix(key))
 
     def clear(self) -> None:
         self._entries.clear()

@@ -10,10 +10,20 @@ on the caller's side sees exactly the sequence a serial run produces.
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import ExitStack
 from dataclasses import replace
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
+from ..obs.metrics import get_metrics, metrics_active, metrics_scope
+from ..obs.trace import (
+    collect_events,
+    merge_events,
+    span,
+    trace_event,
+    tracing_active,
+)
 from .context import get_execution_config, set_execution_config
 from .timing import collect_timings, merge_timings
 
@@ -36,10 +46,24 @@ def _init_worker(config) -> None:
     set_execution_config(replace(config, jobs=1))
 
 
-def _worker_call(fn: Callable[[T], R], item: T):
-    with collect_timings() as timings:
+def _worker_call(
+    fn: Callable[[T], R], item: T, want_trace: bool, want_metrics: bool
+):
+    # ContextVars don't cross the process boundary, so the parent tells
+    # each task whether to buffer events/metrics for merging on return.
+    events: List[dict] = []
+    snapshot: Optional[dict] = None
+    with ExitStack() as stack:
+        timings = stack.enter_context(collect_timings())
+        if want_trace:
+            events = stack.enter_context(collect_events())
+        registry = (
+            stack.enter_context(metrics_scope()) if want_metrics else None
+        )
         result = fn(item)
-    return result, dict(timings)
+    if registry is not None:
+        snapshot = registry.snapshot()
+    return result, dict(timings), events, snapshot
 
 
 def parallel_map(
@@ -75,16 +99,45 @@ def parallel_map(
             initializer=_init_worker,
             initargs=(config,),
         )
-    except (OSError, PermissionError):
+    except (OSError, PermissionError) as exc:
         # Environments without working process support (restricted
-        # sandboxes) degrade to the serial reference path.
+        # sandboxes) degrade to the serial reference path.  Results are
+        # identical (tasks own their seeds) but wall-clock is not, so
+        # say so instead of silently eating the requested parallelism.
+        warnings.warn(
+            f"parallel_map: cannot start a process pool ({exc!r}); "
+            f"running {len(tasks)} task(s) serially instead of with "
+            f"jobs={n_jobs}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        trace_event(
+            "warning",
+            kind="pool-serial-fallback",
+            jobs=n_jobs,
+            tasks=len(tasks),
+            error=repr(exc),
+        )
         return [fn(task) for task in tasks]
-    with executor:
-        futures = [executor.submit(_worker_call, fn, task) for task in tasks]
+    want_trace = tracing_active()
+    want_metrics = metrics_active()
+    with executor, span(
+        "parallel_map", {"jobs": n_jobs, "tasks": len(tasks)}
+    ):
+        futures = [
+            executor.submit(_worker_call, fn, task, want_trace, want_metrics)
+            for task in tasks
+        ]
         results: List[R] = []
         for future in futures:
-            result, timings = future.result()
+            result, timings, events, snapshot = future.result()
             merge_timings(timings)
+            if events:
+                merge_events(events)
+            if snapshot is not None:
+                registry = get_metrics()
+                if registry is not None:
+                    registry.merge_snapshot(snapshot)
             results.append(result)
     return results
 

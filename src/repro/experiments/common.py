@@ -15,7 +15,7 @@ as terminal output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from ..exec.timing import format_timings
 from ..params import SimProfile
@@ -32,6 +32,12 @@ class ExperimentResult:
     #: Wall-clock seconds per chain stage (pmu/vrm/emission/...), as
     #: collected by the runner; includes time spent in worker processes.
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Flattened signal-quality metrics collected during the run
+    #: (see :mod:`repro.obs.metrics`); filled in by the runner.
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: The run manifest (see :mod:`repro.obs.manifest`); filled in by
+    #: the runner and written next to ``--output`` when requested.
+    manifest: Optional[dict] = None
 
     def columns(self) -> List[str]:
         cols: List[str] = []

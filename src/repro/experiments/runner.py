@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 from typing import Iterable, List, Optional
 
 from ..exec.context import execution_scope
 from ..exec.timing import collect_timings, format_timings
+from ..obs.metrics import flatten, metrics_scope
+from ..obs.trace import trace_event, tracing_scope
 from ..params import SimProfile
 from .common import ExperimentResult, get_experiment, list_experiments
 
@@ -20,6 +23,8 @@ def run_experiments(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
+    trace: Optional[str] = None,
+    manifest_dir: Optional[str] = None,
 ) -> List[ExperimentResult]:
     """Run a set of experiments and echo their rendered tables.
 
@@ -34,7 +39,15 @@ def run_experiments(
     (rows, repetitions, page loads), so progress still streams one
     experiment at a time and a fixed seed gives bit-identical tables at
     any worker count.
+
+    ``trace`` names a JSONL file collecting structured stage/cache/pool
+    events for the whole batch (:mod:`repro.obs.trace`).  Every result
+    carries a run manifest and the flattened signal-quality metrics
+    collected during its run; ``manifest_dir`` additionally writes each
+    manifest as ``<dir>/<experiment>.manifest.json``.
     """
+    from ..obs.manifest import build_manifest, manifest_path, write_manifest
+
     ids = list(experiment_ids) if experiment_ids is not None else list_experiments()
     overrides = {}
     if jobs is not None:
@@ -44,17 +57,46 @@ def run_experiments(
     if cache_dir is not None:
         overrides["cache_dir"] = cache_dir
     results: List[ExperimentResult] = []
-    with execution_scope(**overrides):
+    with ExitStack() as stack:
+        stack.enter_context(execution_scope(**overrides))
+        if trace is not None:
+            stack.enter_context(tracing_scope(trace))
         for eid in ids:
             fn = get_experiment(eid)
+            trace_event("experiment", phase="start", experiment=eid, seed=seed)
             started = time.perf_counter()
-            with collect_timings() as timings:
+            with collect_timings() as timings, metrics_scope() as registry:
                 if profile is None:
                     result = fn(quick=quick, seed=seed)
                 else:
                     result = fn(profile=profile, quick=quick, seed=seed)
             elapsed = time.perf_counter() - started
+            snapshot = registry.snapshot()
             result.timings = dict(timings)
+            result.metrics = flatten(snapshot)
+            result.manifest = build_manifest(
+                experiment_id=eid,
+                title=result.title,
+                profile=profile,
+                seed=seed,
+                quick=quick,
+                rows=result.rows,
+                timings=result.timings,
+                metrics_snapshot=snapshot,
+                elapsed_s=elapsed,
+            )
+            if manifest_dir is not None:
+                path = write_manifest(
+                    result.manifest, manifest_path(manifest_dir, eid)
+                )
+                echo(f"[manifest written to {path}]")
+            trace_event(
+                "experiment",
+                phase="end",
+                experiment=eid,
+                elapsed_s=round(elapsed, 3),
+                n_rows=len(result.rows),
+            )
             results.append(result)
             echo(result.render())
             summary = f"[{eid} finished in {elapsed:.1f}s"

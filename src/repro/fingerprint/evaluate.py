@@ -10,6 +10,7 @@ import numpy as np
 from ..chain import paper_tuned_frequency_hz, render_capture, tuned_frequency_hz
 from ..em.environment import Scenario, near_field_scenario
 from ..exec.pool import parallel_map
+from ..obs.metrics import get_metrics
 from ..osmodel import interrupts as irq
 from ..params import KEYLOG, SimProfile
 from ..systems.laptops import DELL_PRECISION, Machine
@@ -106,8 +107,12 @@ class FingerprintExperiment:
         predicted = clf.predict(features_arr[test_idx])
         true = [labels[i] for i in test_idx]
         matrix, label_order = confusion_matrix(true, predicted)
+        score = accuracy(true, predicted)
+        registry = get_metrics()
+        if registry is not None:
+            registry.histogram("fingerprint.accuracy").observe(score)
         return FingerprintResult(
-            accuracy=accuracy(true, predicted),
+            accuracy=score,
             confusion=matrix,
             labels=label_order,
             n_train=len(train_idx),

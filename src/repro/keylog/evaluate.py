@@ -15,6 +15,7 @@ import numpy as np
 from ..chain import render_capture, tuned_frequency_hz
 from ..em.environment import Scenario
 from ..exec.pool import parallel_map
+from ..obs.metrics import get_metrics
 from ..osmodel import interrupts as irq
 from ..params import KEYLOG, SimProfile
 from ..systems.laptops import DELL_PRECISION, Machine
@@ -134,6 +135,10 @@ class KeylogExperiment:
         true_lengths = [len(w) for w in text.split(" ") if w]
         precision, recall = word_accuracy(seg.word_lengths, true_lengths)
         label = self.scenario.name if self.scenario is not None else "near-field"
+        registry = get_metrics()
+        if registry is not None:
+            registry.histogram("keylog.true_positive_rate").observe(tpr)
+            registry.histogram("keylog.false_positive_rate").observe(fpr)
         return KeylogResult(
             label=label,
             true_positive_rate=tpr,

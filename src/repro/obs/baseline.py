@@ -1,0 +1,304 @@
+"""Metric baselines: record once, compare on every ``make regress``.
+
+The gate runs a small set of fixed-seed tier-1 scenarios through the
+instrumented chain, flattens the collected signal-quality metrics, and
+either records them to ``baselines/*.json`` or compares them against
+the committed record with per-metric tolerances.  Any drift - a changed
+burst rate, a shifted emission RMS, a lost dB of SNR - fails with a
+per-metric diff, so an emission-path bug becomes red CI instead of a
+silently wrong Table II/III/IV number.
+
+Scenarios run serially with the chain cache disabled, so the recorded
+numbers never depend on ambient execution state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..exec.cache import CHAIN_SCHEMA
+from ..exec.context import execution_scope
+from .metrics import flatten, metrics_scope
+
+BASELINE_SCHEMA = "baseline-v1"
+
+#: Default relative tolerance.  The scenarios are fully deterministic
+#: under a fixed seed, but summary floats may wobble in the last ulps
+#: across BLAS/FFT builds; 1e-6 absorbs that while catching any real
+#: change (the acceptance bar is a 1% emission perturbation).
+DEFAULT_REL_TOLERANCE = 1e-6
+DEFAULT_ABS_TOLERANCE = 1e-12
+
+#: Default location of the committed baselines, relative to the repo root.
+DEFAULT_BASELINE_DIR = "baselines"
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+
+
+def _chain_emission_tiny() -> Dict[str, float]:
+    """Activity -> emission only: the cheapest end-to-end physics probe."""
+    from ..chain import render_emission
+    from ..params import TINY
+    from ..systems.laptops import DELL_INSPIRON
+    from ..types import ActivityTrace, Interval
+
+    activity = ActivityTrace(
+        [
+            Interval(0.001, 0.004),
+            Interval(0.006, 0.0085),
+            Interval(0.010, 0.011, level=0.5),
+        ],
+        duration=0.012,
+    )
+    with metrics_scope() as registry:
+        rng = np.random.default_rng(3)
+        wave = render_emission(DELL_INSPIRON, activity, TINY, rng)
+        registry.gauge("wave.samples").set(wave.size)
+        registry.gauge("wave.abs_sum").set(float(np.abs(wave).sum()))
+        return flatten(registry.snapshot())
+
+
+def _covert_inspiron_tiny() -> Dict[str, float]:
+    """One decoded near-field covert run (the conftest reference link)."""
+    from ..covert.link import CovertLink
+    from ..params import TINY
+    from ..systems.laptops import DELL_INSPIRON
+
+    payload = np.random.default_rng(99).integers(0, 2, size=100)
+    link = CovertLink(machine=DELL_INSPIRON, profile=TINY, seed=5)
+    with metrics_scope() as registry:
+        result = link.run(payload)
+        m = result.metrics
+        registry.gauge("channel.ber").set(m.ber)
+        registry.gauge("channel.insertion_probability").set(
+            m.insertion_probability
+        )
+        registry.gauge("channel.deletion_probability").set(
+            m.deletion_probability
+        )
+        registry.gauge("channel.transmission_rate_bps").set(
+            result.transmission_rate_bps
+        )
+        return flatten(registry.snapshot())
+
+
+def _keylog_quick_fox() -> Dict[str, float]:
+    """One typed session through detection and scoring (Table IV path)."""
+    from ..keylog.evaluate import KeylogExperiment
+
+    with metrics_scope() as registry:
+        result = KeylogExperiment(seed=2).run(text="the quick brown fox")
+        registry.gauge("keylog.true_positive_rate").set(
+            result.true_positive_rate
+        )
+        registry.gauge("keylog.false_positive_rate").set(
+            result.false_positive_rate
+        )
+        registry.gauge("keylog.n_detected").set(result.n_detected)
+        return flatten(registry.snapshot())
+
+
+SCENARIOS: Dict[str, Callable[[], Dict[str, float]]] = {
+    "chain-emission-tiny": _chain_emission_tiny,
+    "covert-inspiron-tiny": _covert_inspiron_tiny,
+    "keylog-quick-fox": _keylog_quick_fox,
+}
+
+
+def run_scenario(name: str) -> Dict[str, float]:
+    """Execute one scenario under a pinned (serial, uncached) config."""
+    try:
+        fn = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown baseline scenario {name!r}; known: {known}")
+    with execution_scope(jobs=1, cache_enabled=False):
+        return fn()
+
+
+# ---------------------------------------------------------------------------
+# Record / compare
+
+
+def baseline_path(directory, scenario: str) -> Path:
+    return Path(directory) / f"{scenario}.json"
+
+
+def record(
+    directory=DEFAULT_BASELINE_DIR,
+    scenarios: Optional[Iterable[str]] = None,
+) -> List[Path]:
+    """Snapshot the scenarios' metrics into ``directory``."""
+    import json
+
+    names = list(scenarios) if scenarios is not None else sorted(SCENARIOS)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    for name in names:
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "chain_schema": CHAIN_SCHEMA,
+            "scenario": name,
+            "tolerance": {
+                "rel_default": DEFAULT_REL_TOLERANCE,
+                "abs_default": DEFAULT_ABS_TOLERANCE,
+            },
+            "metrics": run_scenario(name),
+        }
+        path = baseline_path(directory, name)
+        with path.open("w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        paths.append(path)
+    return paths
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """One out-of-tolerance metric."""
+
+    metric: str
+    expected: float
+    actual: float
+
+    @property
+    def rel_error(self) -> float:
+        scale = max(abs(self.expected), 1e-30)
+        return abs(self.actual - self.expected) / scale
+
+    def render(self) -> str:
+        return (
+            f"{self.metric}: expected {self.expected!r}, got "
+            f"{self.actual!r} (rel err {self.rel_error:.3g})"
+        )
+
+
+@dataclass
+class ScenarioComparison:
+    """Comparison outcome for one scenario."""
+
+    scenario: str
+    diffs: List[MetricDiff] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    extra: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+    n_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not (self.diffs or self.missing or self.error)
+
+    def render(self) -> str:
+        if self.ok:
+            note = f"{self.n_checked} metrics within tolerance"
+            if self.extra:
+                note += f"; {len(self.extra)} new metric(s) not in baseline"
+            return f"ok   {self.scenario}: {note}"
+        lines = [f"FAIL {self.scenario}:"]
+        if self.error:
+            lines.append(f"  error: {self.error}")
+        for name in self.missing:
+            lines.append(f"  missing metric (in baseline, not produced): {name}")
+        for diff in self.diffs:
+            lines.append(f"  {diff.render()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class BaselineReport:
+    """All scenario comparisons from one ``compare`` call."""
+
+    comparisons: List[ScenarioComparison]
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.comparisons)
+
+    def render(self) -> str:
+        lines = [c.render() for c in self.comparisons]
+        verdict = "regress: OK" if self.ok else "regress: FAILED"
+        return "\n".join(lines + [verdict])
+
+
+def compare_metrics(
+    expected: Dict[str, float],
+    actual: Dict[str, float],
+    scenario: str,
+    rel_tolerance: float = DEFAULT_REL_TOLERANCE,
+    abs_tolerance: float = DEFAULT_ABS_TOLERANCE,
+) -> ScenarioComparison:
+    """Diff two flat metric dicts under the tolerance policy."""
+    comparison = ScenarioComparison(scenario=scenario)
+    for name, want in sorted(expected.items()):
+        if name not in actual:
+            comparison.missing.append(name)
+            continue
+        got = actual[name]
+        comparison.n_checked += 1
+        if abs(got - want) > abs_tolerance + rel_tolerance * abs(want):
+            comparison.diffs.append(
+                MetricDiff(metric=name, expected=want, actual=got)
+            )
+    comparison.extra = sorted(set(actual) - set(expected))
+    return comparison
+
+
+def compare(
+    directory=DEFAULT_BASELINE_DIR,
+    scenarios: Optional[Iterable[str]] = None,
+) -> BaselineReport:
+    """Re-run the scenarios and diff them against the recorded baselines."""
+    import json
+
+    directory = Path(directory)
+    names = list(scenarios) if scenarios is not None else sorted(SCENARIOS)
+    comparisons: List[ScenarioComparison] = []
+    for name in names:
+        path = baseline_path(directory, name)
+        if not path.exists():
+            comparisons.append(
+                ScenarioComparison(
+                    scenario=name,
+                    error=(
+                        f"no baseline at {path}; run the record mode "
+                        "(python -m repro regress --record) and commit it"
+                    ),
+                )
+            )
+            continue
+        with path.open() as handle:
+            recorded = json.load(handle)
+        if recorded.get("chain_schema") != CHAIN_SCHEMA:
+            comparisons.append(
+                ScenarioComparison(
+                    scenario=name,
+                    error=(
+                        f"baseline recorded for chain schema "
+                        f"{recorded.get('chain_schema')!r} but the code is "
+                        f"{CHAIN_SCHEMA!r}; re-record after the schema bump"
+                    ),
+                )
+            )
+            continue
+        tolerance = recorded.get("tolerance", {})
+        comparisons.append(
+            compare_metrics(
+                recorded.get("metrics", {}),
+                run_scenario(name),
+                scenario=name,
+                rel_tolerance=tolerance.get(
+                    "rel_default", DEFAULT_REL_TOLERANCE
+                ),
+                abs_tolerance=tolerance.get(
+                    "abs_default", DEFAULT_ABS_TOLERANCE
+                ),
+            )
+        )
+    return BaselineReport(comparisons=comparisons)

@@ -29,7 +29,31 @@ def result_to_markdown(result: ExperimentResult) -> str:
     for note in result.notes:
         lines.append(f"> {note}")
         lines.append("")
+    footer = _reproducibility_footer(result)
+    if footer:
+        lines.append(footer)
+        lines.append("")
     return "\n".join(lines)
+
+
+def _reproducibility_footer(result: ExperimentResult) -> str:
+    """One-line provenance trailer built from the run manifest.
+
+    Deliberately limited to deterministic fields (no timings, no
+    timestamps): reports must stay bit-identical across worker counts
+    and reruns, the guarantee the determinism check diffs on.
+    """
+    manifest = result.manifest
+    if not manifest:
+        return ""
+    parts = [
+        f"config `{manifest.get('config_fingerprint', '?')}`",
+        f"chain `{manifest.get('chain_schema', '?')}`",
+        f"seed {manifest.get('seed', '?')}",
+    ]
+    if "result_fingerprint" in manifest:
+        parts.append(f"rows `{manifest['result_fingerprint']}`")
+    return "<sub>reproducibility: " + ", ".join(parts) + "</sub>"
 
 
 def results_to_markdown(

@@ -1,0 +1,98 @@
+"""Property-based tests for the edit-distance alignment (hypothesis).
+
+The BER/IP/DP columns of Tables II and III are only meaningful if the
+aligner attributes channel damage to the right operation class.  For
+synthetic damage the optimal alignment is *provably* unique in count:
+
+* deleting k bits from tx forces exactly (errors=0, ins=0, del=k):
+  the length difference makes del - ins = k, so any alignment costs
+  errors + 2*ins + k >= k, with equality only at the pure-deletion one;
+* inserting k bits is the mirror image;
+* substituting k bits keeps the lengths equal (ins == del) and can
+  never cost more than the k substitutions that produced it.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.align import align_bits
+
+
+@st.composite
+def stream_and_positions(draw, min_len=2, max_len=80, max_ops=6):
+    bits = draw(
+        st.lists(st.integers(0, 1), min_size=min_len, max_size=max_len)
+    )
+    k = draw(st.integers(1, min(max_ops, len(bits))))
+    positions = draw(
+        st.lists(
+            st.integers(0, len(bits) - 1),
+            min_size=k,
+            max_size=k,
+            unique=True,
+        )
+    )
+    return np.asarray(bits, dtype=int), sorted(positions)
+
+
+class TestInjectedDeletions:
+    @given(case=stream_and_positions())
+    @settings(max_examples=80)
+    def test_exactly_k_deletions(self, case):
+        tx, positions = case
+        rx = np.delete(tx, positions)
+        m = align_bits(tx, rx)
+        assert m.deletions == len(positions)
+        assert m.insertions == 0
+        assert m.bit_errors == 0
+        assert m.deletion_probability == len(positions) / tx.size
+
+
+class TestInjectedInsertions:
+    @given(case=stream_and_positions())
+    @settings(max_examples=80)
+    def test_exactly_k_insertions(self, case):
+        tx, positions = case
+        # Insert the complement at each position so the insertions are
+        # adversarial (they never extend an existing run for free).
+        rx = tx
+        for offset, pos in enumerate(positions):
+            rx = np.insert(rx, pos + offset, 1 - tx[pos])
+        m = align_bits(tx, rx)
+        # Total cost is exactly k (the pure-insertion alignment) and
+        # rx is longer by k, which pins ins = k, del = 0, errors = 0.
+        assert m.insertions == len(positions)
+        assert m.deletions == 0
+        assert m.bit_errors == 0
+
+
+class TestInjectedSubstitutions:
+    @given(case=stream_and_positions())
+    @settings(max_examples=80)
+    def test_cost_bounded_by_k_with_balanced_indels(self, case):
+        tx, positions = case
+        rx = tx.copy()
+        rx[positions] ^= 1
+        m = align_bits(tx, rx)
+        k = len(positions)
+        # Equal lengths force ins == del; optimality bounds the total.
+        assert m.insertions == m.deletions
+        assert m.bit_errors + m.insertions + m.deletions <= k
+        assert m.ber <= k / tx.size
+
+
+class TestMetricsConsistency:
+    @given(
+        tx=st.lists(st.integers(0, 1), max_size=60),
+        rx=st.lists(st.integers(0, 1), max_size=60),
+    )
+    @settings(max_examples=80)
+    def test_counts_reconcile_lengths(self, tx, rx):
+        m = align_bits(tx, rx)
+        if tx and rx:
+            assert m.transmitted == len(tx)
+            assert m.received == len(rx)
+        # The operation counts must explain the length difference.
+        assert m.insertions - m.deletions == m.received - m.transmitted
+        assert m.bit_errors >= 0

@@ -1,0 +1,92 @@
+"""Cache safety across schema bumps and byte-punned keys.
+
+Two ways a content-addressed cache can lie:
+
+* a disk entry written by an older chain model is served after the
+  semantics changed - prevented by ``CHAIN_SCHEMA`` participating in
+  every key, verified here end to end through ``render_emission``;
+* two *different* values encode to the same bytes (numpy dtype/shape
+  punning, bytes-vs-str, bool-vs-int) and collide - prevented by the
+  type tags in the canonical encoding.
+"""
+
+import numpy as np
+import pytest
+
+import repro.chain
+from repro.chain import render_emission
+from repro.exec.cache import fingerprint, get_chain_cache, reset_chain_cache
+from repro.exec.context import execution_scope
+from repro.params import TINY
+from repro.systems.laptops import DELL_INSPIRON
+from repro.types import ActivityTrace, Interval
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    reset_chain_cache()
+    yield
+    reset_chain_cache()
+
+
+def _render():
+    activity = ActivityTrace([Interval(0.001, 0.003)], duration=0.005)
+    rng = np.random.default_rng(7)
+    return render_emission(DELL_INSPIRON, activity, TINY, rng)
+
+
+class TestSchemaBump:
+    def test_stale_disk_entries_not_served_after_bump(
+        self, tmp_path, monkeypatch
+    ):
+        cache_dir = str(tmp_path / "cache")
+        with execution_scope(cache_enabled=True, cache_dir=cache_dir):
+            wave_v1 = _render()
+            stats = get_chain_cache().stats()
+            assert stats["misses"] > 0  # populated the disk layer
+
+        # A new process with the same disk cache but a bumped schema:
+        # every probe must miss (the old entries' keys no longer exist).
+        reset_chain_cache()
+        monkeypatch.setattr(repro.chain, "CHAIN_SCHEMA", "chain-v2-test")
+        with execution_scope(cache_enabled=True, cache_dir=cache_dir):
+            wave_v2 = _render()
+            stats = get_chain_cache().stats()
+            assert stats["hits"] == 0
+            assert stats["misses"] > 0
+        # The physics didn't change, only the schema tag: same output.
+        assert np.array_equal(wave_v1, wave_v2)
+
+    def test_same_schema_still_hits_across_processes(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        with execution_scope(cache_enabled=True, cache_dir=cache_dir):
+            wave_first = _render()
+        reset_chain_cache()  # simulate a fresh process, same disk dir
+        with execution_scope(cache_enabled=True, cache_dir=cache_dir):
+            wave_second = _render()
+            assert get_chain_cache().stats()["hits"] > 0
+        assert np.array_equal(wave_first, wave_second)
+
+
+class TestFingerprintPunning:
+    def test_same_bytes_different_dtype(self):
+        # 4 zero bytes either way; the dtype tag must split them.
+        a = np.zeros(4, dtype=np.uint8)
+        b = np.zeros(1, dtype=np.uint32)
+        assert a.tobytes() == b.tobytes()
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_same_bytes_different_shape(self):
+        a = np.arange(6).reshape(2, 3)
+        b = np.arange(6).reshape(3, 2)
+        assert a.tobytes() == b.tobytes()
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_scalar_kinds_do_not_collide(self):
+        assert fingerprint(np.float64(1.0)) != fingerprint(np.int64(1))
+        assert fingerprint(b"1") != fingerprint("1")
+        assert fingerprint([1, 2]) != fingerprint((1, 2, None))
+
+    def test_containers_do_not_pun_across_nesting(self):
+        assert fingerprint([[1], [2]]) != fingerprint([[1, 2]])
+        assert fingerprint({"a": 1, "b": 2}) != fingerprint({"a": 1})

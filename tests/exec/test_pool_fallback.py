@@ -1,0 +1,68 @@
+"""The pool's serial fallback must be loud, correct, and observable.
+
+Sandboxed environments can refuse process creation; ``parallel_map``
+then degrades to the serial reference path.  Results are identical
+(tasks own their seeds) but wall-clock is not, so the degradation must
+surface as a ``RuntimeWarning`` and a structured trace event instead of
+silently eating ``--jobs``.
+"""
+
+import warnings
+
+import pytest
+
+import repro.exec.pool as pool_mod
+from repro.exec.pool import parallel_map
+from repro.obs.trace import collect_events
+
+
+def _square(x):
+    return x * x
+
+
+class _BrokenExecutor:
+    def __init__(self, *args, **kwargs):
+        raise PermissionError("process creation forbidden (test)")
+
+
+@pytest.fixture
+def broken_pool(monkeypatch):
+    monkeypatch.setattr(pool_mod, "ProcessPoolExecutor", _BrokenExecutor)
+
+
+class TestSerialFallback:
+    def test_results_still_correct(self, broken_pool):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert parallel_map(_square, [1, 2, 3], jobs=2) == [1, 4, 9]
+
+    def test_emits_runtime_warning(self, broken_pool):
+        with pytest.warns(RuntimeWarning, match="serially instead of"):
+            parallel_map(_square, [1, 2, 3], jobs=2)
+
+    def test_emits_structured_trace_event(self, broken_pool):
+        with collect_events() as events:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                parallel_map(_square, [1, 2, 3], jobs=2)
+        fallbacks = [
+            e
+            for e in events
+            if e.get("event") == "warning"
+            and e.get("kind") == "pool-serial-fallback"
+        ]
+        assert len(fallbacks) == 1
+        assert fallbacks[0]["jobs"] == 2
+        assert fallbacks[0]["tasks"] == 3
+        assert "PermissionError" in fallbacks[0]["error"]
+
+    def test_healthy_pool_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            assert parallel_map(_square, [1, 2, 3], jobs=2) == [1, 4, 9]
+
+    def test_serial_request_never_touches_the_executor(self, broken_pool):
+        # jobs=1 is the reference path; it must not warn or probe pools.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            assert parallel_map(_square, [1, 2], jobs=1) == [1, 4]

@@ -1,0 +1,109 @@
+"""Tests for the metrics registry and the chain taps."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    flatten,
+    get_metrics,
+    metrics_active,
+    metrics_scope,
+    tap_capture,
+    tap_emission,
+    tap_receiver,
+)
+from repro.types import IQCapture
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2.5)
+        reg.gauge("g").set(4)
+        for v in (1.0, 3.0, 2.0):
+            reg.histogram("h").observe(v)
+        snap = reg.snapshot()
+        assert snap["c"] == {"type": "counter", "value": 3.5}
+        assert snap["g"] == {"type": "gauge", "value": 4.0}
+        assert snap["h"]["count"] == 3
+        assert snap["h"]["min"] == 1.0
+        assert snap["h"]["max"] == 3.0
+        assert snap["h"]["mean"] == pytest.approx(2.0)
+
+    def test_merge_snapshot_is_exact(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("c").inc(1)
+        parent.histogram("h").observe(1.0)
+        worker.counter("c").inc(2)
+        worker.histogram("h").observe(5.0)
+        worker.gauge("g").set(9)
+        parent.merge_snapshot(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap["c"]["value"] == 3
+        assert snap["h"]["count"] == 2
+        assert snap["h"]["max"] == 5.0
+        assert snap["g"]["value"] == 9.0
+
+    def test_flatten(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(4.0)
+        flat = flatten(reg.snapshot())
+        assert flat == {
+            "g": 2.0,
+            "h.count": 1.0,
+            "h.mean": 4.0,
+            "h.min": 4.0,
+            "h.max": 4.0,
+        }
+
+    def test_scope_install_and_teardown(self):
+        assert not metrics_active()
+        with metrics_scope() as reg:
+            assert get_metrics() is reg
+        assert get_metrics() is None
+
+
+class TestTaps:
+    def test_taps_are_noops_when_off(self):
+        # Must not raise, must not allocate a registry.
+        tap_emission(np.ones(8))
+        tap_receiver(np.ones(8), 3)
+        assert not metrics_active()
+
+    def test_emission_rms(self):
+        with metrics_scope() as reg:
+            tap_emission(np.full(16, 2.0))
+        assert flatten(reg.snapshot())["chain.emission.rms.mean"] == pytest.approx(2.0)
+
+    def test_capture_clip_rate(self):
+        # 8-bit ADC rails at +127/128 and -1; half the samples pinned.
+        pinned = (127 / 128) + 0j
+        samples = np.array([pinned, 0.1 + 0.1j, -1.0j, 0.0j], dtype=np.complex64)
+        capture = IQCapture(
+            samples=samples, sample_rate=1e6, center_frequency=1e6
+        )
+        with metrics_scope() as reg:
+            tap_capture(capture, adc_bits=8)
+        assert flatten(reg.snapshot())["chain.sdr.clip_rate.mean"] == pytest.approx(0.5)
+
+    def test_receiver_contrast_clean_ook(self):
+        powers = np.array([0.1, 0.9, 0.1, 0.9, 0.1, 0.9, 0.12, 0.88])
+        with metrics_scope() as reg:
+            tap_receiver(powers, n_edges=4)
+        flat = flatten(reg.snapshot())
+        assert flat["rx.edges.count.mean"] == 4.0
+        # (hi - lo) / (hi + lo) with hi ~0.89, lo ~0.105.
+        assert flat["rx.envelope.bimodal_contrast.mean"] == pytest.approx(
+            0.79, abs=0.02
+        )
+
+    def test_receiver_collapsed_envelope_scores_zero(self):
+        with metrics_scope() as reg:
+            tap_receiver(np.full(8, 0.5), n_edges=0)
+        contrast = flatten(reg.snapshot()).get(
+            "rx.envelope.bimodal_contrast.mean", 0.0
+        )
+        assert contrast == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,126 @@
+"""Tests for the structured tracer."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.chain import render_emission
+from repro.exec.context import execution_scope
+from repro.obs.trace import (
+    collect_events,
+    key_prefix,
+    merge_events,
+    rng_digest,
+    span,
+    trace_event,
+    tracing_active,
+    tracing_scope,
+)
+from repro.params import TINY
+from repro.systems.laptops import DELL_INSPIRON
+from repro.types import ActivityTrace, Interval
+
+
+def _events(buf: io.StringIO):
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+class TestTracerBasics:
+    def test_off_by_default(self):
+        assert not tracing_active()
+        trace_event("noop", value=1)  # must be a silent no-op
+
+    def test_scope_writes_jsonl(self):
+        buf = io.StringIO()
+        with tracing_scope(buf):
+            assert tracing_active()
+            trace_event("ping", value=3)
+        events = _events(buf)
+        assert len(events) == 1
+        assert events[0]["event"] == "ping"
+        assert events[0]["value"] == 3
+        assert events[0]["ts"] >= 0
+        assert events[0]["pid"] > 0
+        assert not tracing_active()
+
+    def test_scope_opens_path(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with tracing_scope(str(path)):
+            trace_event("ping")
+        assert json.loads(path.read_text())["event"] == "ping"
+
+    def test_span_records_duration_and_lazy_attrs(self):
+        buf = io.StringIO()
+        calls = []
+        with tracing_scope(buf):
+            with span("work", {"cache": "miss"}, lazy=lambda: calls.append(1) or {"extra": 7}):
+                pass
+        (event,) = _events(buf)
+        assert event["name"] == "work"
+        assert event["cache"] == "miss"
+        assert event["extra"] == 7
+        assert event["duration_s"] >= 0
+        assert calls == [1]
+
+    def test_span_lazy_not_called_when_off(self):
+        with span("work", lazy=lambda: pytest.fail("must stay lazy")):
+            pass
+
+    def test_numpy_values_coerced(self):
+        buf = io.StringIO()
+        with tracing_scope(buf):
+            trace_event("n", count=np.int64(4), rate=np.float64(0.5))
+        (event,) = _events(buf)
+        assert event["count"] == 4
+        assert event["rate"] == 0.5
+
+    def test_key_prefix(self):
+        assert key_prefix(None) is None
+        assert key_prefix("ab" * 32) == "abababababab"
+
+    def test_rng_digest_tracks_state(self):
+        rng = np.random.default_rng(0)
+        before = rng_digest(rng)
+        assert rng_digest(np.random.default_rng(0)) == before
+        rng.random()
+        assert rng_digest(rng) != before
+
+
+class TestWorkerMerging:
+    def test_collect_and_merge(self):
+        with collect_events() as buffered:
+            trace_event("inner", step=1)
+        assert buffered[0]["event"] == "inner"
+        buf = io.StringIO()
+        with tracing_scope(buf):
+            merge_events(buffered)
+        (event,) = _events(buf)
+        assert event == buffered[0]  # replayed verbatim, own timeline
+
+    def test_merge_without_tracer_is_noop(self):
+        merge_events([{"event": "orphan"}])
+
+
+class TestChainSpans:
+    def test_stages_and_cache_disposition(self):
+        activity = ActivityTrace([Interval(0.001, 0.003)], duration=0.005)
+        buf = io.StringIO()
+        with execution_scope(cache_enabled=True), tracing_scope(buf):
+            render_emission(
+                DELL_INSPIRON, activity, TINY, np.random.default_rng(1)
+            )
+            render_emission(
+                DELL_INSPIRON, activity, TINY, np.random.default_rng(1)
+            )
+        events = _events(buf)
+        spans = [e for e in events if e["event"] == "span"]
+        stages = [e for e in events if e["event"] == "stage"]
+        # First render computes (spans tagged miss); second hits.
+        assert {s["name"] for s in spans} >= {"pmu", "vrm", "emission"}
+        assert all(s["cache"] == "miss" for s in spans)
+        assert any(s["cache"] == "hit" for s in stages)
+        hit = next(s for s in stages if s["cache"] == "hit")
+        assert len(hit["key"]) == 12
+        assert len(hit["rng"]) == 12

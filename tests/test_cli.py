@@ -63,3 +63,51 @@ class TestCommands:
         content = path.read_text()
         assert content.startswith("# Reproduction report")
         assert "fig4" in content
+        assert "reproducibility:" in content
+        # --output implies a manifest next to the report.
+        assert (tmp_path / "fig4.manifest.json").exists()
+
+    def test_run_with_trace_and_manifest_dir(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "run",
+                    "fig4",
+                    "--seed",
+                    "1",
+                    "--trace",
+                    str(trace),
+                    "--manifest-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        kinds = {e["event"] for e in events}
+        assert "experiment" in kinds
+        assert "cache" in kinds
+        # Stage activity shows as compute spans (cold cache) or hit
+        # events (a previous test already warmed the process cache).
+        assert kinds & {"span", "stage"}
+        manifest = json.loads((tmp_path / "fig4.manifest.json").read_text())
+        assert manifest["experiment"] == "fig4"
+
+
+class TestRegressCommand:
+    def test_record_then_compare(self, capsys, tmp_path):
+        argv = ["regress", "--baseline-dir", str(tmp_path),
+                "--scenario", "chain-emission-tiny"]
+        assert main(argv + ["--record"]) == 0
+        assert "baseline recorded" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "regress: OK" in capsys.readouterr().out
+
+    def test_missing_baselines_exit_nonzero(self, capsys, tmp_path):
+        argv = ["regress", "--baseline-dir", str(tmp_path / "empty"),
+                "--scenario", "chain-emission-tiny"]
+        assert main(argv) == 1
+        assert "regress: FAILED" in capsys.readouterr().out

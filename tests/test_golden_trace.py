@@ -1,0 +1,105 @@
+"""Golden-trace regression: a committed IQ snapshot of the full chain.
+
+The chain cache (``repro.exec.cache``) trusts ``CHAIN_SCHEMA`` to name
+the chain's semantics: any change to what the stages *compute* must
+bump it, or stale disk caches silently serve outputs of the old model.
+This test makes that contract enforceable.  A tiny fixed-seed capture
+is committed under ``tests/golden/<CHAIN_SCHEMA>-capture.npz``; the
+test re-renders it and asserts bit-identity.  A semantic change to the
+chain therefore fails here until the author bumps ``CHAIN_SCHEMA`` -
+at which point the golden file's *name* changes too, and the helper
+below regenerates it deliberately:
+
+    PYTHONPATH=src python tests/test_golden_trace.py --regenerate
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.chain import render_capture, tuned_frequency_hz
+from repro.em.environment import near_field_scenario
+from repro.exec.cache import CHAIN_SCHEMA
+from repro.exec.context import execution_scope
+from repro.params import TINY
+from repro.systems.laptops import DELL_INSPIRON
+from repro.types import ActivityTrace, Interval
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def golden_path() -> Path:
+    # Keyed on the schema tag: bumping CHAIN_SCHEMA retires the old
+    # snapshot by name instead of silently overwriting it.
+    return GOLDEN_DIR / f"{CHAIN_SCHEMA}-capture.npz"
+
+
+def render_golden_capture():
+    """The reference render: fixed machine, activity, scenario, seed."""
+    activity = ActivityTrace(
+        [
+            Interval(0.001, 0.003),
+            Interval(0.005, 0.0065),
+            Interval(0.007, 0.0075, level=0.5),
+        ],
+        duration=0.008,
+    )
+    scenario = near_field_scenario(
+        tuned_frequency_hz(DELL_INSPIRON, TINY),
+        physics_frequency_hz=1.5 * DELL_INSPIRON.vrm_frequency_hz,
+    )
+    with execution_scope(jobs=1, cache_enabled=False):
+        return render_capture(
+            DELL_INSPIRON,
+            activity,
+            scenario,
+            TINY,
+            np.random.default_rng(42),
+        )
+
+
+def test_golden_capture_is_bit_identical():
+    path = golden_path()
+    assert path.exists(), (
+        f"no golden capture for schema {CHAIN_SCHEMA!r} at {path}. "
+        "If you just bumped CHAIN_SCHEMA after a deliberate semantic "
+        "change, regenerate it: "
+        "PYTHONPATH=src python tests/test_golden_trace.py --regenerate"
+    )
+    golden = np.load(path)
+    capture = render_golden_capture()
+    assert capture.sample_rate == float(golden["sample_rate"])
+    assert capture.center_frequency == float(golden["center_frequency"])
+    assert capture.samples.dtype == golden["samples"].dtype
+    # Bit identity, not approx: the chain is deterministic under a
+    # fixed seed, so *any* difference is a semantic change that needs
+    # a CHAIN_SCHEMA bump (and a fresh golden file).
+    assert np.array_equal(capture.samples, golden["samples"]), (
+        "chain output changed for the fixed-seed golden scenario; if "
+        "intentional, bump CHAIN_SCHEMA in repro/exec/cache.py and "
+        "regenerate tests/golden/"
+    )
+
+
+def _regenerate() -> Path:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    capture = render_golden_capture()
+    path = golden_path()
+    np.savez_compressed(
+        path,
+        samples=capture.samples,
+        sample_rate=capture.sample_rate,
+        center_frequency=capture.center_frequency,
+    )
+    return path
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        print(f"golden capture written to {_regenerate()}")
+    else:
+        print(__doc__)
