@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-parallel smoke-parallel regress regress-record
+.PHONY: test bench bench-parallel smoke-parallel smoke-stream regress regress-record
 
 test:
 	$(PY) -m pytest -x -q
@@ -18,6 +18,12 @@ bench-parallel:
 # fanned out across two workers.
 smoke-parallel:
 	$(PY) -m repro run table2 --jobs 2
+
+# Quick end-to-end sanity check of the streaming receiver: chunked
+# replay with arrival jitter, verified bit-exact against the batch
+# decoder (the command exits non-zero on divergence).
+smoke-stream:
+	$(PY) -m repro stream "smoke" --seed 1 --chunk-size 2048 --jitter 0.2
 
 # Signal-quality regression gate: re-run the fixed-seed baseline
 # scenarios and fail on any metric drift (see baselines/*.json).

@@ -10,7 +10,13 @@ Subcommands
     Demo: transmit a string over the simulated covert channel and
     print what the receiver recovered.
 ``keylog <text>``
-    Demo: type a string and print the detected keystroke timeline.
+    Demo: type a string and print the detected keystroke timeline
+    (``--stream`` replays the capture through the live detector and
+    reports per-keystroke detection latency).
+``stream <text>``
+    Demo: decode a covert transmission *as it arrives* - chunked
+    replay through the streaming receiver with a ring buffer,
+    backpressure, and an equivalence check against the batch decoder.
 ``regress [--record]``
     Compare (or re-record) the fixed-seed metric baselines in
     ``baselines/`` - the signal-quality regression gate.
@@ -123,6 +129,74 @@ def build_parser() -> argparse.ArgumentParser:
     key_p = sub.add_parser("keylog", help="keylogging demo")
     key_p.add_argument("text", help="text the victim types")
     key_p.add_argument("--seed", type=int, default=0)
+    key_p.add_argument(
+        "--stream",
+        action="store_true",
+        help="live mode: replay the capture through the streaming "
+        "detector and report per-keystroke detection latency",
+    )
+    key_p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="samples per stream chunk (with --stream)",
+    )
+
+    stream_p = sub.add_parser(
+        "stream", help="streaming covert-channel receiver demo"
+    )
+    stream_p.add_argument("text", help="ASCII text to exfiltrate")
+    stream_p.add_argument("--machine", default="Inspiron")
+    stream_p.add_argument("--profile", default="tiny")
+    stream_p.add_argument("--seed", type=int, default=0)
+    stream_p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="samples per stream chunk",
+    )
+    stream_p.add_argument(
+        "--buffer-capacity",
+        type=int,
+        default=64,
+        metavar="N",
+        help="ring buffer capacity in chunks",
+    )
+    stream_p.add_argument(
+        "--policy",
+        choices=("block", "drop-oldest"),
+        default="block",
+        help="ring buffer overflow policy",
+    )
+    stream_p.add_argument(
+        "--jitter",
+        type=float,
+        default=0.1,
+        metavar="REL",
+        help="chunk arrival jitter as a fraction of the chunk duration",
+    )
+    stream_p.add_argument(
+        "--service-rate",
+        type=float,
+        default=None,
+        metavar="SPS",
+        help="simulated receiver throughput in samples/s "
+        "(default: infinitely fast, lossless)",
+    )
+    stream_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write per-chunk spans and stream events as JSONL to FILE",
+    )
+    stream_p.add_argument(
+        "--manifest-dir",
+        default=None,
+        metavar="DIR",
+        help="write a run manifest (stats + metrics) to DIR",
+    )
     return parser
 
 
@@ -233,7 +307,17 @@ def _cmd_keylog(args) -> int:
     from .keylog.evaluate import KeylogExperiment
 
     exp = KeylogExperiment(seed=args.seed)
-    result = exp.run(text=args.text)
+    if args.stream:
+        if args.chunk_size < 1:
+            print(
+                f"error: --chunk-size must be >= 1, got {args.chunk_size}",
+                file=sys.stderr,
+            )
+            return 2
+        live = exp.run_streaming(text=args.text, chunk_size=args.chunk_size)
+        result = live.result
+    else:
+        result = exp.run(text=args.text)
     print(
         f"typed {result.n_keystrokes} keystrokes; detected "
         f"{result.n_detected} "
@@ -242,6 +326,138 @@ def _cmd_keylog(args) -> int:
     )
     for ev in result.detection.events:
         print(f"  keystroke at {ev.start:7.3f}s  ({ev.duration * 1e3:5.1f} ms)")
+    if args.stream:
+        print(
+            f"live mode: {len(live.events)} online event(s), detection "
+            f"latency mean={live.mean_detection_latency_s * 1e3:.1f} ms "
+            f"max={live.max_detection_latency_s * 1e3:.1f} ms"
+        )
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    import contextlib
+
+    import numpy as np
+
+    from .core.coding import bytes_to_bits
+    from .covert.link import CovertLink
+    from .obs.manifest import build_manifest, write_manifest
+    from .obs.metrics import metrics_scope
+    from .obs.trace import tracing_scope
+    from .stream import CaptureChunkSource, StreamingReceiver, StreamRunner
+    from .systems.laptops import by_name
+
+    if args.chunk_size < 1:
+        print(
+            f"error: --chunk-size must be >= 1, got {args.chunk_size}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.buffer_capacity < 1:
+        print(
+            "error: --buffer-capacity must be >= 1, got "
+            f"{args.buffer_capacity}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.jitter < 0:
+        print(f"error: --jitter cannot be negative, got {args.jitter}",
+              file=sys.stderr)
+        return 2
+    if args.service_rate is not None and args.service_rate <= 0:
+        print(
+            f"error: --service-rate must be positive, got {args.service_rate}",
+            file=sys.stderr,
+        )
+        return 2
+
+    link = CovertLink(
+        machine=by_name(args.machine),
+        profile=get_profile(args.profile),
+        seed=args.seed,
+    )
+    payload = bytes_to_bits(args.text.encode("ascii"))
+    print(f"transmitting {payload.size} bits on {link.machine.name} ...")
+    batch = link.run(payload)
+    bit_period = link.transmitter(
+        np.random.default_rng(link.seed)
+    ).nominal_bit_duration_s()
+
+    with contextlib.ExitStack() as stack:
+        registry = stack.enter_context(metrics_scope())
+        if args.trace:
+            stack.enter_context(tracing_scope(args.trace))
+        source = CaptureChunkSource(
+            batch.capture, args.chunk_size, jitter_rel=args.jitter
+        )
+        receiver = StreamingReceiver(
+            source.meta,
+            link.vrm_frequency_hz,
+            expected_bit_period_s=bit_period,
+            config=link.decoder_config,
+            frame_format=link.frame_format,
+        )
+        runner = StreamRunner(
+            source,
+            receiver,
+            buffer_capacity=args.buffer_capacity,
+            policy=args.policy,
+            service_rate_sps=args.service_rate,
+        )
+        run = runner.run()
+        final = receiver.finalize()
+
+    stats = run.stats
+    print(
+        f"streamed {stats.chunks_total} chunk(s) of {args.chunk_size}: "
+        f"{stats.chunks_processed} processed, {stats.chunks_dropped} "
+        f"dropped, {stats.chunks_shed} shed "
+        f"(policy={stats.policy}, capacity={stats.buffer_capacity})"
+    )
+    print(
+        f"lag mean={stats.mean_lag_s * 1e3:.1f} ms "
+        f"max={stats.max_lag_s * 1e3:.1f} ms; buffer high watermark "
+        f"{stats.high_watermark}; {run.n_events} online event(s) "
+        f"({stats.events_per_s:.1f}/s); sync="
+        f"{'locked' if receiver.synchronized else 'none'}"
+    )
+    if stats.lossless:
+        exact = final.bits.size == batch.decode.bits.size and bool(
+            np.array_equal(final.bits, batch.decode.bits)
+        )
+        print(
+            f"finalised {final.bits.size} bit(s): "
+            f"{'bit-exact with' if exact else 'DIVERGED from'} the batch "
+            "decoder"
+        )
+        if not exact:
+            return 1
+    else:
+        diff = int(
+            np.count_nonzero(
+                final.bits[: batch.decode.bits.size]
+                != batch.decode.bits[: final.bits.size]
+            )
+        )
+        print(
+            f"finalised {final.bits.size} bit(s) from a lossy stream "
+            f"({stats.samples_dropped + stats.samples_shed} sample(s) "
+            f"lost); {diff} bit(s) differ from the batch decode"
+        )
+    if args.manifest_dir:
+        manifest = build_manifest(
+            experiment_id="stream-demo",
+            title="streaming covert receiver demo",
+            profile=link.profile,
+            seed=args.seed,
+            metrics_snapshot=registry.snapshot(),
+        )
+        manifest["stream"] = stats.as_dict()
+        path = write_manifest(
+            manifest, Path(args.manifest_dir) / "stream-demo.json"
+        )
+        print(f"manifest written to {path}")
     return 0
 
 
@@ -257,6 +473,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_send(args)
     if args.command == "keylog":
         return _cmd_keylog(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     raise AssertionError("unreachable")
 
 

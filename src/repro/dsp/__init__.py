@@ -4,7 +4,7 @@ from .detection import bimodal_threshold, histogram_modes, local_maxima
 from .filters import edge_kernel, lowpass, moving_average
 from .render import ascii_lane, ascii_spectrogram, sparkline
 from .resample import block_reduce, linear_resample
-from .stft import Spectrogram, stft
+from .stft import Spectrogram, frame_count, frame_times, stft
 from .windows import get_window, hann, rectangular
 
 __all__ = [
@@ -14,6 +14,8 @@ __all__ = [
     "bimodal_threshold",
     "block_reduce",
     "edge_kernel",
+    "frame_count",
+    "frame_times",
     "get_window",
     "hann",
     "histogram_modes",

@@ -5,6 +5,14 @@ IQ stream; the keylogging detector (Section V-C) uses non-overlapping
 5 ms windows.  Both are served by :func:`stft`, which frames with an
 arbitrary hop.  Frames are materialised with stride tricks, so hop << M
 is memory-cheap until the FFT output itself.
+
+Framing is defined once, by :func:`frame_count` / :func:`frame_times`:
+frame ``i`` covers samples ``[i * hop, i * hop + fft_size)`` and a
+trailing partial window (fewer than ``fft_size`` samples past the last
+complete frame) is dropped.  The batch path here and the chunked path in
+:mod:`repro.stream.demod` both build on these helpers, so a capture
+split at any chunk boundary frames identically to the monolithic call -
+including the awkward tail lengths the regression tests pin.
 """
 
 from __future__ import annotations
@@ -65,6 +73,36 @@ class Spectrogram:
         return self.magnitudes[:, bins].sum(axis=1)
 
 
+def frame_count(n_samples: int, fft_size: int, hop: int) -> int:
+    """Number of complete STFT frames in ``n_samples``.
+
+    Frame ``i`` starts at ``i * hop`` and needs ``fft_size`` samples, so
+    the count is ``floor((n - fft_size) / hop) + 1`` (zero when the
+    input is shorter than one window).  This is the single definition of
+    the capture-tail behaviour: samples past the last complete frame are
+    dropped, never padded into a partial frame.
+    """
+    if fft_size < 2:
+        raise ValueError("fft_size must be >= 2")
+    if hop < 1:
+        raise ValueError("hop must be >= 1")
+    if n_samples < fft_size:
+        return 0
+    return (n_samples - fft_size) // hop + 1
+
+
+def frame_times(
+    first_frame: int, n_frames: int, fft_size: int, hop: int, sample_rate: float
+) -> np.ndarray:
+    """Centre times of frames ``first_frame .. first_frame + n_frames``.
+
+    Kept as one function so the chunked path stamps exactly the same
+    float values as the batch path for the same global frame index.
+    """
+    indices = np.arange(first_frame, first_frame + n_frames)
+    return (indices * hop + fft_size / 2) / sample_rate
+
+
 def stft(
     samples: np.ndarray,
     sample_rate: float,
@@ -77,17 +115,14 @@ def stft(
     Complex input produces a two-sided (fftshifted) frequency axis, which
     is what the SDR IQ path needs; real input produces a one-sided axis.
     """
-    if fft_size < 2:
-        raise ValueError("fft_size must be >= 2")
-    if hop < 1:
-        raise ValueError("hop must be >= 1")
     samples = np.asarray(samples)
-    if samples.size < fft_size:
+    n_frames = frame_count(samples.size, fft_size, hop)
+    if n_frames == 0:
         raise ValueError(
             f"need at least fft_size={fft_size} samples, got {samples.size}"
         )
     win = get_window(window, fft_size)
-    frames = sliding_window_view(samples, fft_size)[::hop]
+    frames = sliding_window_view(samples, fft_size)[::hop][:n_frames]
     complex_input = np.iscomplexobj(samples)
     if complex_input:
         spectra = np.fft.fft(frames * win, axis=1)
@@ -97,8 +132,7 @@ def stft(
         spectra = np.fft.rfft(frames * win, axis=1)
         freqs = np.fft.rfftfreq(fft_size, d=1.0 / sample_rate)
     mags = np.abs(spectra)
-    n_frames = frames.shape[0]
-    times = (np.arange(n_frames) * hop + fft_size / 2) / sample_rate
+    times = frame_times(0, n_frames, fft_size, hop, sample_rate)
     return Spectrogram(
         magnitudes=mags,
         times=times,

@@ -137,25 +137,36 @@ class KeystrokeDetector:
     def _group_events(
         self, active: np.ndarray, times: np.ndarray, cfg: KeylogDetectorConfig
     ) -> List[DetectedEvent]:
-        """Runs of active windows -> events; merge near, drop short."""
-        window_s = times[1] - times[0] if times.size > 1 else cfg.window_s
-        raw: List[DetectedEvent] = []
-        start = None
-        for i, a in enumerate(active):
-            if a and start is None:
-                start = times[i] - window_s / 2
-            elif not a and start is not None:
-                raw.append(DetectedEvent(start, times[i] - window_s / 2))
-                start = None
-        if start is not None:
-            raw.append(DetectedEvent(start, times[-1] + window_s / 2))
-        merged: List[DetectedEvent] = []
-        for ev in raw:
-            if merged and ev.start - merged[-1].end <= cfg.merge_gap_s:
-                merged[-1] = DetectedEvent(merged[-1].start, ev.end)
-            else:
-                merged.append(ev)
-        return [ev for ev in merged if ev.duration >= cfg.min_event_s]
+        return group_events(active, times, cfg)
+
+
+def group_events(
+    active: np.ndarray, times: np.ndarray, cfg: KeylogDetectorConfig
+) -> List[DetectedEvent]:
+    """Runs of active windows -> events; merge near, drop short.
+
+    Module-level so the streaming detector's finalisation pass
+    (:class:`repro.stream.receiver.StreamingKeystrokeDetector`) applies
+    the identical grouping to its accumulated band energy.
+    """
+    window_s = times[1] - times[0] if times.size > 1 else cfg.window_s
+    raw: List[DetectedEvent] = []
+    start = None
+    for i, a in enumerate(active):
+        if a and start is None:
+            start = times[i] - window_s / 2
+        elif not a and start is not None:
+            raw.append(DetectedEvent(start, times[i] - window_s / 2))
+            start = None
+    if start is not None:
+        raw.append(DetectedEvent(start, times[-1] + window_s / 2))
+    merged: List[DetectedEvent] = []
+    for ev in raw:
+        if merged and ev.start - merged[-1].end <= cfg.merge_gap_s:
+            merged[-1] = DetectedEvent(merged[-1].start, ev.end)
+        else:
+            merged.append(ev)
+    return [ev for ev in merged if ev.duration >= cfg.min_event_s]
 
 
 def match_events(

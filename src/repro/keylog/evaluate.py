@@ -128,27 +128,118 @@ class KeylogExperiment:
             self.detector_config,
         )
         detection = detector.detect(capture)
-        tp, fp, fn = match_events(detection.events, keystrokes)
-        tpr = tp / max(len(keystrokes), 1)
-        fpr = fp / max(len(detection.events), 1)
-        seg = segment_words(detection.events)
-        true_lengths = [len(w) for w in text.split(" ") if w]
-        precision, recall = word_accuracy(seg.word_lengths, true_lengths)
-        label = self.scenario.name if self.scenario is not None else "near-field"
-        registry = get_metrics()
-        if registry is not None:
-            registry.histogram("keylog.true_positive_rate").observe(tpr)
-            registry.histogram("keylog.false_positive_rate").observe(fpr)
-        return KeylogResult(
-            label=label,
-            true_positive_rate=tpr,
-            false_positive_rate=fpr,
-            word_precision=precision,
-            word_recall=recall,
-            n_keystrokes=len(keystrokes),
-            n_detected=detection.count,
-            detection=detection,
+        return _score_detection(self, detection, keystrokes, text)
+
+    def run_streaming(
+        self,
+        text: Optional[str] = None,
+        n_words: int = 50,
+        *,
+        chunk_size: int = 4096,
+        buffer_capacity: int = 64,
+        policy: str = "block",
+        service_rate_sps: Optional[float] = None,
+        jitter_rel: float = 0.0,
+    ) -> KeylogStreamResult:
+        """Live-mode attack: the capture is replayed through the
+        streaming detector chunk by chunk (:mod:`repro.stream`).
+
+        The finalised scores match :meth:`run` on a lossless replay up
+        to the batch path's pre-FFT normalisation (same events;
+        floating-point threshold differences at the ulp level), and the
+        online events carry per-keystroke detection latencies.
+        """
+        from ..stream import (
+            CaptureChunkSource,
+            StreamingKeystrokeDetector,
+            StreamRunner,
         )
+
+        if text is None:
+            text = random_words(n_words, np.random.default_rng(self.seed + 77))
+        keystrokes, capture = self.type_and_capture(text)
+        source = CaptureChunkSource(capture, chunk_size, jitter_rel=jitter_rel)
+        streaming = StreamingKeystrokeDetector(
+            source.meta,
+            self.machine.vrm_frequency_hz / self.profile.total_freq_divisor,
+            self.detector_config,
+        )
+        runner = StreamRunner(
+            source,
+            streaming,
+            buffer_capacity=buffer_capacity,
+            policy=policy,
+            service_rate_sps=service_rate_sps,
+        )
+        run = runner.run()
+        detection = streaming.finalize()
+        result = _score_detection(self, detection, keystrokes, text)
+        return KeylogStreamResult(
+            result=result, events=run.events, stats=run.stats
+        )
+
+
+@dataclass
+class KeylogStreamResult:
+    """A streaming keylogging run: batch-grade scores plus live events.
+
+    ``result`` scores the *finalised* detection (batch-equivalent pass
+    over the accumulated band energy); ``events`` are the online
+    detections, each stamped with the latency between the keystroke's
+    end on the air and the moment the receiver reported it.
+    """
+
+    result: KeylogResult
+    events: List  # List[repro.stream.receiver.KeystrokeEvent]
+    stats: object  # repro.stream.runner.StreamStats
+
+    @property
+    def detection_latencies_s(self) -> List[float]:
+        return [e.latency_s for e in self.events]
+
+    @property
+    def mean_detection_latency_s(self) -> float:
+        lat = self.detection_latencies_s
+        return float(np.mean(lat)) if lat else 0.0
+
+    @property
+    def max_detection_latency_s(self) -> float:
+        lat = self.detection_latencies_s
+        return float(np.max(lat)) if lat else 0.0
+
+
+def _score_detection(
+    experiment: "KeylogExperiment",
+    detection: KeylogDetection,
+    keystrokes: List[Keystroke],
+    text: str,
+) -> KeylogResult:
+    """Shared Table IV scoring for a detection, batch or finalised."""
+    tp, fp, fn = match_events(detection.events, keystrokes)
+    tpr = tp / max(len(keystrokes), 1)
+    fpr = fp / max(len(detection.events), 1)
+    seg = segment_words(detection.events)
+    true_lengths = [len(w) for w in text.split(" ") if w]
+    precision, recall = word_accuracy(seg.word_lengths, true_lengths)
+    label = (
+        experiment.scenario.name
+        if experiment.scenario is not None
+        else "near-field"
+    )
+    registry = get_metrics()
+    if registry is not None:
+        registry.histogram("keylog.true_positive_rate").observe(tpr)
+        registry.histogram("keylog.false_positive_rate").observe(fpr)
+    return KeylogResult(
+        label=label,
+        true_positive_rate=tpr,
+        false_positive_rate=fpr,
+        word_precision=precision,
+        word_recall=recall,
+        n_keystrokes=len(keystrokes),
+        n_detected=detection.count,
+        detection=detection,
+    )
 
 
 def _execute_session(

@@ -301,3 +301,54 @@ def tap_receiver(powers: np.ndarray, n_edges: int) -> None:
         mean_hi, mean_lo = float(hi.mean()), float(lo.mean())
         contrast = (mean_hi - mean_lo) / max(mean_hi + mean_lo, 1e-30)
     reg.histogram("rx.envelope.bimodal_contrast").observe(contrast)
+
+
+# ---------------------------------------------------------------------------
+# Streaming-receiver taps (repro.stream).  Same contract as the chain
+# taps: one ContextVar read and out when no registry is active.
+
+
+def tap_stream_chunk(lag_s: float, occupancy: float) -> None:
+    """One serviced chunk: its processing lag and the buffer fill level."""
+    reg = _registry.get()
+    if reg is None:
+        return
+    reg.counter("stream.chunks").inc()
+    reg.histogram("stream.lag_s").observe(lag_s)
+    reg.histogram("stream.buffer.occupancy").observe(occupancy)
+
+
+def tap_stream_drop(n_chunks: int, n_samples: int) -> None:
+    """Chunks evicted by the ring buffer (drop-oldest overflow)."""
+    reg = _registry.get()
+    if reg is None:
+        return
+    reg.counter("stream.dropped.chunks").inc(n_chunks)
+    reg.counter("stream.dropped.samples").inc(n_samples)
+
+
+def tap_stream_degraded(n_chunks: int, n_samples: int) -> None:
+    """Chunks shed at ingest by graceful degradation (decimation)."""
+    reg = _registry.get()
+    if reg is None:
+        return
+    reg.counter("stream.degraded.chunks").inc(n_chunks)
+    reg.counter("stream.degraded.samples").inc(n_samples)
+
+
+def tap_stream_event(latency_s: float) -> None:
+    """One online receiver event and its decode latency."""
+    reg = _registry.get()
+    if reg is None:
+        return
+    reg.counter("stream.events").inc()
+    reg.histogram("stream.event_latency_s").observe(latency_s)
+
+
+def tap_stream_summary(events_per_s: float, high_watermark: int) -> None:
+    """End-of-run levels: event rate and peak buffer occupancy."""
+    reg = _registry.get()
+    if reg is None:
+        return
+    reg.gauge("stream.events_per_s").set(events_per_s)
+    reg.gauge("stream.buffer.high_watermark").set(float(high_watermark))

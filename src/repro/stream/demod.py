@@ -1,0 +1,278 @@
+"""Stateful, chunk-incremental DSP: the streaming half of the receiver.
+
+The batch receiver computes one STFT over the whole capture
+(:func:`repro.dsp.stft.stft`) and one envelope from it (paper Eq. 1).
+Here the same quantities are produced chunk by chunk with explicit
+carry-over state:
+
+* :class:`StreamingSTFT` buffers the window tail between chunks and
+  emits exactly the frames the batch call would, in the same global
+  positions (the framing contract lives in
+  :func:`repro.dsp.stft.frame_count`).  Feeding the same samples in any
+  chunking - including one sample at a time - yields bit-identical
+  magnitudes, because each frame is the same float vector through the
+  same FFT.
+* :class:`StreamingBandEnergy` reduces those frames to the Eq. 1
+  envelope ``Y[n]`` over a fixed bin set, reusing the batch bin
+  selection (:func:`repro.core.acquisition.harmonic_bins`) via a
+  metadata stub so streaming and batch can never disagree about S.
+* :class:`StreamingConvolver` carries FIR state across chunk
+  boundaries, matching ``np.convolve(x, k, mode="same")`` over the
+  concatenated stream; the receiver uses it with the edge kernel from
+  :mod:`repro.dsp.filters` for online bit-start detection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..dsp.stft import Spectrogram, frame_count, frame_times
+from ..dsp.windows import get_window
+from .source import StreamMeta
+
+
+class StreamingSTFT:
+    """Chunk-incremental STFT, frame-identical to the batch :func:`stft`.
+
+    Parameters mirror the batch call; ``complex_input`` fixes the
+    frequency axis up front (the batch path infers it from the array
+    dtype, which a stream cannot do before the first chunk).
+    """
+
+    def __init__(
+        self,
+        sample_rate: float,
+        fft_size: int,
+        hop: int,
+        window: str = "hann",
+        complex_input: bool = True,
+    ):
+        if fft_size < 2:
+            raise ValueError("fft_size must be >= 2")
+        if hop < 1:
+            raise ValueError("hop must be >= 1")
+        self.sample_rate = float(sample_rate)
+        self.fft_size = int(fft_size)
+        self.hop = int(hop)
+        self.window = window
+        self.complex_input = bool(complex_input)
+        self._win = get_window(window, fft_size)
+        if complex_input:
+            self.frequencies = np.fft.fftshift(
+                np.fft.fftfreq(fft_size, d=1.0 / sample_rate)
+            )
+        else:
+            self.frequencies = np.fft.rfftfreq(fft_size, d=1.0 / sample_rate)
+        dtype = np.complex128 if complex_input else np.float64
+        self._buf = np.empty(0, dtype=dtype)
+        self._buf_start = 0  # global index of _buf[0]
+        self._received = 0  # total samples pushed
+        self._emitted = 0  # complete frames emitted
+
+    @property
+    def frame_rate(self) -> float:
+        return self.sample_rate / self.hop
+
+    @property
+    def n_frames(self) -> int:
+        """Frames emitted so far."""
+        return self._emitted
+
+    @property
+    def n_samples(self) -> int:
+        """Samples consumed so far."""
+        return self._received
+
+    def spectrogram_stub(self) -> Spectrogram:
+        """A frame-less spectrogram carrying the axes.
+
+        Lets streaming code reuse batch bin-selection helpers
+        (``nearest_bin`` / ``band_indices``) before any frame exists.
+        """
+        return Spectrogram(
+            magnitudes=np.empty((0, self.frequencies.size)),
+            times=np.empty(0),
+            frequencies=self.frequencies,
+            hop=self.hop,
+            fft_size=self.fft_size,
+            sample_rate=self.sample_rate,
+        )
+
+    def push(self, samples: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Feed one chunk; returns ``(new_magnitudes, first_frame_index)``.
+
+        ``new_magnitudes`` has shape ``(n_new, n_bins)`` (possibly zero
+        rows when the chunk does not complete a frame);
+        ``first_frame_index`` is the global index of its first row.
+        """
+        samples = np.asarray(samples)
+        first = self._emitted
+        if samples.size:
+            self._buf = np.concatenate([self._buf, samples.astype(self._buf.dtype)])
+            self._received += samples.size
+        # The next frame starts at the global sample index hop * emitted;
+        # count how many complete frames the buffer now covers past it.
+        next_start = self._emitted * self.hop
+        available = self._received - next_start
+        n_new = frame_count(available, self.fft_size, self.hop) if available > 0 else 0
+        if n_new == 0:
+            return np.empty((0, self.frequencies.size)), first
+        local = next_start - self._buf_start
+        frames = sliding_window_view(self._buf[local:], self.fft_size)[
+            :: self.hop
+        ][:n_new]
+        # Identical arithmetic to the batch stft(): window, FFT, shift,
+        # magnitude - on identical float rows, so the outputs match bit
+        # for bit regardless of how the stream was chunked.
+        if self.complex_input:
+            spectra = np.fft.fft(frames * self._win, axis=1)
+            spectra = np.fft.fftshift(spectra, axes=1)
+        else:
+            spectra = np.fft.rfft(frames * self._win, axis=1)
+        mags = np.abs(spectra)
+        self._emitted += n_new
+        keep_from = min(self._emitted * self.hop, self._received)
+        if keep_from > self._buf_start:
+            self._buf = self._buf[keep_from - self._buf_start :]
+            self._buf_start = keep_from
+        return mags, first
+
+    def times(self, first_frame: int, n_frames: int) -> np.ndarray:
+        """Centre times for a run of frames (same floats as the batch)."""
+        return frame_times(
+            first_frame, n_frames, self.fft_size, self.hop, self.sample_rate
+        )
+
+
+class StreamingBandEnergy:
+    """Eq. 1 envelope ``Y[n]`` over a fixed bin set, chunk by chunk."""
+
+    def __init__(self, sstft: StreamingSTFT, bins: np.ndarray):
+        bins = np.asarray(bins, dtype=int)
+        if bins.size == 0:
+            raise ValueError("need at least one bin in S")
+        self.sstft = sstft
+        self.bins = bins
+
+    @property
+    def frame_rate(self) -> float:
+        return self.sstft.frame_rate
+
+    @property
+    def n_frames(self) -> int:
+        return self.sstft.n_frames
+
+    def push(self, samples: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Feed one chunk; returns ``(y_new, times_new)``."""
+        mags, first = self.sstft.push(samples)
+        if mags.shape[0] == 0:
+            return np.empty(0), np.empty(0)
+        y = mags[:, self.bins].sum(axis=1)
+        return y, self.sstft.times(first, y.size)
+
+
+def streaming_envelope(
+    meta: StreamMeta, vrm_frequency_hz: float, config
+) -> StreamingBandEnergy:
+    """Build the covert receiver's incremental Eq. 1 envelope.
+
+    ``config`` is a :class:`repro.core.acquisition.AcquisitionConfig`;
+    bin selection goes through the *batch* :func:`harmonic_bins` so the
+    streaming receiver can never pick a different S than the batch one.
+    """
+    from ..core.acquisition import harmonic_bins
+
+    if vrm_frequency_hz <= 0:
+        raise ValueError("VRM frequency must be positive")
+    sstft = StreamingSTFT(
+        meta.sample_rate,
+        fft_size=config.fft_size,
+        hop=config.hop,
+        window=config.window,
+        complex_input=True,
+    )
+    bins = harmonic_bins(
+        sstft.spectrogram_stub(),
+        meta.as_capture_stub(),
+        vrm_frequency_hz,
+        config,
+    )
+    return StreamingBandEnergy(sstft, bins)
+
+
+class StreamingConvolver:
+    """Incremental ``np.convolve(x, kernel, mode="same")``.
+
+    Carries the kernel-length input tail across pushes; outputs that
+    still depend on future samples stay pending until :meth:`push`
+    receives them or :meth:`finalize` zero-pads the right edge, exactly
+    like the batch call's implicit edge handling.
+
+    Emits exactly one output per input.  This matches the batch call
+    whenever the stream is at least as long as the kernel; for shorter
+    streams ``np.convolve(..., "same")`` pads its output out to the
+    *kernel* length, a degenerate case the receiver never hits (the
+    edge kernel is a fraction of one symbol period).
+    """
+
+    def __init__(self, kernel: np.ndarray):
+        self.kernel = np.asarray(kernel, dtype=float)
+        if self.kernel.size < 1:
+            raise ValueError("kernel cannot be empty")
+        self._shift = (self.kernel.size - 1) // 2
+        self._tail = np.empty(0)
+        self._fbuf = np.empty(0)  # pending full-conv values
+        self._fstart = 0  # global full-conv index of _fbuf[0]
+        self._n = 0  # inputs consumed
+        self._emitted = 0  # same-mode outputs emitted
+        self._finalized = False
+
+    def push(self, x: np.ndarray) -> np.ndarray:
+        """Feed inputs; returns the newly finalised same-mode outputs."""
+        if self._finalized:
+            raise RuntimeError("convolver already finalised")
+        x = np.asarray(x, dtype=float)
+        if x.size == 0:
+            return np.empty(0)
+        work = np.concatenate([self._tail, x])
+        full = np.convolve(work, self.kernel, mode="full")
+        # Full-conv outputs for the new inputs: local indices
+        # [len(tail), len(tail) + len(x)) map to global [n, n + len(x)).
+        t = self._tail.size
+        self._fbuf = np.concatenate([self._fbuf, full[t : t + x.size]])
+        self._n += x.size
+        keep = self.kernel.size - 1
+        # Clamp at zero: during startup the whole history is shorter
+        # than the kernel, and a negative start would silently slice
+        # from the wrong end.
+        self._tail = work[max(work.size - keep, 0) :] if keep else np.empty(0)
+        return self._drain(self._n - self._shift)
+
+    def finalize(self) -> np.ndarray:
+        """Zero-pad the right edge and return the trailing outputs."""
+        if self._finalized:
+            return np.empty(0)
+        self._finalized = True
+        if self._n == 0:
+            return np.empty(0)
+        if self._shift:
+            # The last `shift` full-conv values involve only the tail
+            # (future samples are zeros, as in the batch edge).
+            full = np.convolve(self._tail, self.kernel, mode="full")
+            self._fbuf = np.concatenate([self._fbuf, full[self._tail.size :]])
+        return self._drain(self._n)
+
+    def _drain(self, emit_until: int) -> np.ndarray:
+        """Emit same-mode outputs ``[_emitted, emit_until)``."""
+        if emit_until <= self._emitted:
+            return np.empty(0)
+        lo = self._emitted + self._shift - self._fstart
+        hi = emit_until + self._shift - self._fstart
+        out = self._fbuf[lo:hi]
+        self._emitted = emit_until
+        self._fbuf = self._fbuf[hi:]
+        self._fstart = self._emitted + self._shift
+        return out

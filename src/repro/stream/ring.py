@@ -1,0 +1,109 @@
+"""Fixed-capacity chunk buffer between the SDR and the receiver.
+
+A real streaming receiver owns a bounded queue: the SDR driver deposits
+transfer buffers at line rate while the DSP drains them at whatever rate
+the CPU sustains.  When the queue fills, something must give - either
+the producer stalls (``block``, what a lossless file replay does) or the
+oldest unprocessed data is discarded (``drop-oldest``, what a live SDR
+does when the host falls behind).  This module models exactly that
+choice, with explicit drop accounting so a lossy run can never be
+mistaken for a lossless one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from .source import Chunk
+
+#: Overflow policies understood by :class:`RingBuffer`.
+POLICIES = ("block", "drop-oldest")
+
+
+class BufferFull(Exception):
+    """Raised by a ``block``-policy push onto a full buffer.
+
+    The driver is expected to drain before pushing (that *is* the
+    backpressure); reaching this exception means the driver logic is
+    wrong, not that the stream is overloaded.
+    """
+
+
+class RingBuffer:
+    """Bounded FIFO of :class:`~repro.stream.source.Chunk` objects.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of queued chunks.
+    policy:
+        ``"block"``: a push onto a full buffer raises
+        :class:`BufferFull`; the driver must drain first, which models
+        the producer stalling.  ``"drop-oldest"``: a push onto a full
+        buffer evicts the oldest queued chunk and returns it, so the
+        caller can account for the loss.
+    """
+
+    def __init__(self, capacity: int, policy: str = "block"):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {policy!r}; choose from {POLICIES}"
+            )
+        self.capacity = int(capacity)
+        self.policy = policy
+        self._items: deque = deque()
+        self.pushed = 0
+        self.popped = 0
+        self.dropped_chunks = 0
+        self.dropped_samples = 0
+        self.high_watermark = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def occupancy(self) -> float:
+        """Fill fraction in ``[0, 1]``."""
+        return len(self._items) / self.capacity
+
+    def push(self, chunk: Chunk) -> List[Chunk]:
+        """Enqueue one chunk; returns the chunks evicted to make room.
+
+        Empty list on a clean push.  Under ``drop-oldest`` the evicted
+        chunk(s) are returned *and* counted in :attr:`dropped_chunks` /
+        :attr:`dropped_samples`; under ``block`` a full buffer raises
+        :class:`BufferFull` instead.
+        """
+        dropped: List[Chunk] = []
+        while self.full:
+            if self.policy == "block":
+                raise BufferFull(
+                    f"ring buffer full ({self.capacity} chunks) under "
+                    "block policy; drain before pushing"
+                )
+            victim = self._items.popleft()
+            dropped.append(victim)
+            self.dropped_chunks += 1
+            self.dropped_samples += victim.size
+        self._items.append(chunk)
+        self.pushed += 1
+        if len(self._items) > self.high_watermark:
+            self.high_watermark = len(self._items)
+        return dropped
+
+    def pop(self) -> Optional[Chunk]:
+        """Dequeue the oldest chunk, or None when empty."""
+        if not self._items:
+            return None
+        self.popped += 1
+        return self._items.popleft()
+
+    def peek(self) -> Optional[Chunk]:
+        return self._items[0] if self._items else None

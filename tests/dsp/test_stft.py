@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dsp.stft import stft
+from repro.dsp.stft import frame_count, frame_times, stft
 
 
 class TestShapes:
@@ -28,6 +28,63 @@ class TestShapes:
     def test_bad_hop_raises(self):
         with pytest.raises(ValueError):
             stft(np.zeros(256), 1e3, fft_size=64, hop=0)
+
+
+class TestFramingContract:
+    """Pin the canonical framing helpers shared with repro.stream.
+
+    The streaming STFT promises to emit exactly the frames the batch
+    call produces; these cases pin :func:`frame_count` for the awkward
+    lengths where an off-by-one would silently skew every streaming
+    boundary (final partial frame, exact fit, hop > fft_size).
+    """
+
+    @pytest.mark.parametrize(
+        "n,fft_size,hop,want",
+        [
+            (0, 64, 16, 0),       # empty stream
+            (63, 64, 16, 0),      # one short of a single frame
+            (64, 64, 16, 1),      # exactly one frame
+            (79, 64, 16, 1),      # partial tail: not a frame
+            (80, 64, 16, 2),      # tail completes the second frame
+            (1000, 128, 32, 28),  # the shape test's case, pinned
+            (1000, 128, 1000, 1), # hop beyond the data: one frame
+            (264, 64, 100, 3),    # hop > fft_size with exact last fit
+            (263, 64, 100, 2),    # hop > fft_size, one sample short
+            (64, 64, 1, 1),       # maximum overlap, minimum data
+            (65, 64, 1, 2),
+        ],
+    )
+    def test_frame_count_pinned(self, n, fft_size, hop, want):
+        assert frame_count(n, fft_size, hop) == want
+
+    @pytest.mark.parametrize(
+        "n,fft_size,hop",
+        [(64, 64, 16), (80, 64, 16), (1000, 128, 32), (264, 64, 100),
+         (65, 64, 1), (129, 128, 7)],
+    )
+    def test_batch_stft_obeys_frame_count(self, n, fft_size, hop):
+        spec = stft(
+            np.zeros(n, dtype=complex), 1e3, fft_size=fft_size, hop=hop
+        )
+        assert spec.magnitudes.shape[0] == frame_count(n, fft_size, hop)
+        np.testing.assert_array_equal(
+            spec.times,
+            frame_times(0, spec.magnitudes.shape[0], fft_size, hop, 1e3),
+        )
+
+    def test_frame_count_validation(self):
+        with pytest.raises(ValueError):
+            frame_count(100, 1, 4)
+        with pytest.raises(ValueError):
+            frame_count(100, 64, 0)
+
+    def test_frame_times_offset_run(self):
+        # A run starting mid-stream gets the same floats the batch
+        # time axis carries at those indices.
+        full = frame_times(0, 10, 64, 16, 1e3)
+        tail = frame_times(6, 4, 64, 16, 1e3)
+        np.testing.assert_array_equal(tail, full[6:])
 
 
 class TestContent:

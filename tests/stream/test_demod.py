@@ -1,0 +1,169 @@
+"""Tests for the chunk-incremental DSP.
+
+The core claim of the streaming subsystem: feeding the same samples in
+*any* chunking yields bit-identical STFT frames, envelopes and
+convolutions.  Everything downstream (receiver equivalence, baselines)
+rests on these tests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.acquisition import AcquisitionConfig, acquire
+from repro.dsp.filters import edge_kernel
+from repro.dsp.stft import stft
+from repro.stream.demod import (
+    StreamingBandEnergy,
+    StreamingConvolver,
+    StreamingSTFT,
+    streaming_envelope,
+)
+from repro.stream.source import StreamMeta
+from repro.types import IQCapture
+
+
+def _signal(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.normal(size=n) + 1j * rng.normal(size=n)).astype(np.complex64)
+
+
+def _chunked(x, sizes):
+    """Split ``x`` into chunks of the given sizes, cycling as needed."""
+    out, pos, i = [], 0, 0
+    while pos < x.size:
+        size = sizes[i % len(sizes)]
+        out.append(x[pos : pos + size])
+        pos += size
+        i += 1
+    return out
+
+
+class TestStreamingSTFT:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            StreamingSTFT(1e3, fft_size=1, hop=4)
+        with pytest.raises(ValueError):
+            StreamingSTFT(1e3, fft_size=64, hop=0)
+
+    @pytest.mark.parametrize("chunk", [1, 17, 64, 100, 4096, 100_000])
+    def test_bit_exact_with_batch_for_any_chunking(self, chunk):
+        x = _signal(3000)
+        batch = stft(x, 1e4, fft_size=128, hop=32)
+        s = StreamingSTFT(1e4, fft_size=128, hop=32)
+        rows, times = [], []
+        for piece in _chunked(x, [chunk]):
+            mags, first = s.push(piece)
+            if mags.shape[0]:
+                rows.append(mags)
+                times.append(s.times(first, mags.shape[0]))
+        got = np.concatenate(rows)
+        np.testing.assert_array_equal(got, batch.magnitudes)
+        np.testing.assert_array_equal(np.concatenate(times), batch.times)
+        np.testing.assert_array_equal(s.frequencies, batch.frequencies)
+
+    def test_hop_larger_than_fft_size(self):
+        x = _signal(2000, seed=3)
+        batch = stft(x, 1e4, fft_size=64, hop=100)
+        s = StreamingSTFT(1e4, fft_size=64, hop=100)
+        rows = [s.push(piece)[0] for piece in _chunked(x, [97])]
+        got = np.concatenate([r for r in rows if r.shape[0]])
+        np.testing.assert_array_equal(got, batch.magnitudes)
+
+    def test_real_input_one_sided(self):
+        x = np.random.default_rng(1).normal(size=1000)
+        batch = stft(x, 1e3, fft_size=64, hop=16)
+        s = StreamingSTFT(1e3, fft_size=64, hop=16, complex_input=False)
+        rows = [s.push(piece)[0] for piece in _chunked(x, [33])]
+        got = np.concatenate([r for r in rows if r.shape[0]])
+        np.testing.assert_array_equal(got, batch.magnitudes)
+        np.testing.assert_array_equal(s.frequencies, batch.frequencies)
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        sizes=st.lists(st.integers(1, 400), min_size=1, max_size=8),
+        fft_size=st.sampled_from([16, 64, 128]),
+        hop=st.sampled_from([1, 7, 16, 40]),
+    )
+    def test_property_chunking_never_changes_frames(self, sizes, fft_size, hop):
+        x = _signal(1500, seed=42)
+        batch = stft(x, 1e4, fft_size=fft_size, hop=hop)
+        s = StreamingSTFT(1e4, fft_size=fft_size, hop=hop)
+        rows = [s.push(piece)[0] for piece in _chunked(x, sizes)]
+        got = np.concatenate([r for r in rows if r.shape[0]])
+        assert s.n_samples == x.size
+        np.testing.assert_array_equal(got, batch.magnitudes)
+
+
+class TestStreamingEnvelope:
+    def test_matches_batch_acquire(self):
+        fs = 2e5
+        n = 20_000
+        t = np.arange(n) / fs
+        vrm = 2.5e4
+        x = (
+            np.exp(2j * np.pi * (vrm - 3.75e4) * t)
+            + 0.5 * np.exp(2j * np.pi * (2 * vrm - 3.75e4) * t)
+        ).astype(np.complex64)
+        capture = IQCapture(
+            samples=x, sample_rate=fs, center_frequency=3.75e4
+        )
+        config = AcquisitionConfig(fft_size=256, hop=32)
+        batch = acquire(capture, vrm, config)
+        meta = StreamMeta(sample_rate=fs, center_frequency=3.75e4)
+        band = streaming_envelope(meta, vrm, config)
+        ys, ts = [], []
+        for piece in _chunked(x, [777]):
+            y, tt = band.push(piece)
+            ys.append(y)
+            ts.append(tt)
+        np.testing.assert_array_equal(np.concatenate(ys), batch.samples)
+        np.testing.assert_array_equal(np.concatenate(ts), batch.times)
+        assert band.frame_rate == batch.frame_rate
+
+    def test_rejects_empty_bins(self):
+        s = StreamingSTFT(1e3, fft_size=16, hop=4)
+        with pytest.raises(ValueError):
+            StreamingBandEnergy(s, np.array([], dtype=int))
+
+
+class TestStreamingConvolver:
+    @pytest.mark.parametrize("kernel_len", [2, 5, 8, 31])
+    @pytest.mark.parametrize("chunk", [1, 3, 50, 1000])
+    def test_matches_same_mode_convolution(self, kernel_len, chunk):
+        x = np.random.default_rng(9).normal(size=400)
+        kernel = edge_kernel(kernel_len)
+        want = np.convolve(x, kernel, mode="same")
+        conv = StreamingConvolver(kernel)
+        parts = [conv.push(piece) for piece in _chunked(x, [chunk])]
+        parts.append(conv.finalize())
+        got = np.concatenate(parts)
+        np.testing.assert_allclose(got, want, rtol=0, atol=1e-12)
+        assert got.size == want.size
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        sizes=st.lists(st.integers(1, 97), min_size=1, max_size=6),
+        kernel_len=st.integers(2, 40),
+        # Streams at least one kernel long: below that, numpy's "same"
+        # mode pads out to the *kernel* length (documented degenerate
+        # case the receiver never hits).
+        n=st.integers(40, 300),
+    )
+    def test_property_chunking_never_changes_output(self, sizes, kernel_len, n):
+        x = np.random.default_rng(5).normal(size=n)
+        kernel = edge_kernel(kernel_len)
+        want = np.convolve(x, kernel, mode="same")
+        conv = StreamingConvolver(kernel)
+        parts = [conv.push(piece) for piece in _chunked(x, sizes)]
+        parts.append(conv.finalize())
+        got = np.concatenate(parts)
+        np.testing.assert_allclose(got, want, rtol=0, atol=1e-12)
+
+    def test_push_after_finalize_raises(self):
+        conv = StreamingConvolver(edge_kernel(4))
+        conv.push(np.ones(10))
+        conv.finalize()
+        with pytest.raises(RuntimeError):
+            conv.push(np.ones(2))

@@ -1,0 +1,200 @@
+"""Streaming covert receiver: equivalence with the batch decoder.
+
+The headline guarantee of ``repro.stream``: a drop-free streaming run
+finalises to the *exact* bits the batch decoder produces from the same
+capture, for any chunking.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decoder import BatchDecoder
+from repro.params import TINY
+from repro.stream import CaptureChunkSource, StreamingReceiver, StreamRunner
+from repro.systems.laptops import DELL_INSPIRON
+from repro.types import IQCapture
+
+
+@pytest.fixture(scope="module")
+def link():
+    from repro.covert.link import CovertLink
+
+    return CovertLink(machine=DELL_INSPIRON, profile=TINY, seed=5)
+
+
+@pytest.fixture(scope="module")
+def bit_period(link):
+    return link.transmitter(
+        np.random.default_rng(link.seed)
+    ).nominal_bit_duration_s()
+
+
+def _stream_decode(link, capture, bit_period, chunk_size, **runner_kwargs):
+    source = CaptureChunkSource(capture, chunk_size, jitter_rel=0.1)
+    receiver = StreamingReceiver(
+        source.meta,
+        link.vrm_frequency_hz,
+        expected_bit_period_s=bit_period,
+        config=link.decoder_config,
+        frame_format=link.frame_format,
+    )
+    run = StreamRunner(source, receiver, **runner_kwargs).run()
+    return receiver, run
+
+
+class TestBitExactEquivalence:
+    @pytest.mark.parametrize("chunk_size", [1024, 4096, 37_777])
+    def test_bit_exact_across_chunk_sizes(
+        self, link, link_result, bit_period, chunk_size
+    ):
+        receiver, run = _stream_decode(
+            link, link_result.capture, bit_period, chunk_size
+        )
+        assert run.stats.lossless
+        final = receiver.finalize()
+        np.testing.assert_array_equal(final.bits, link_result.decode.bits)
+        np.testing.assert_array_equal(
+            final.starts, link_result.decode.starts
+        )
+        np.testing.assert_array_equal(
+            receiver.envelope().samples,
+            link_result.decode.envelope.samples,
+        )
+
+    def test_chunk_larger_than_capture(self, link, link_result, bit_period):
+        n = link_result.capture.samples.size
+        receiver, run = _stream_decode(
+            link, link_result.capture, bit_period, n + 999
+        )
+        assert run.stats.chunks_total == 1
+        final = receiver.finalize()
+        np.testing.assert_array_equal(final.bits, link_result.decode.bits)
+
+    def test_single_sample_chunks(self, link, link_result, bit_period):
+        # Chunk size 1 on a truncated capture (full-length would be
+        # needlessly slow); equivalence is against a batch decode of
+        # the same truncation.
+        capture = link_result.capture
+        short = IQCapture(
+            samples=capture.samples[:16_384],
+            sample_rate=capture.sample_rate,
+            center_frequency=capture.center_frequency,
+        )
+        batch = BatchDecoder(
+            link.vrm_frequency_hz,
+            expected_bit_period_s=bit_period,
+            config=link.decoder_config,
+        ).decode(short)
+        receiver, run = _stream_decode(link, short, bit_period, 1)
+        assert run.stats.chunks_total == short.samples.size
+        final = receiver.finalize()
+        np.testing.assert_array_equal(final.bits, batch.bits)
+
+    @settings(deadline=None, max_examples=6)
+    @given(chunk_size=st.integers(257, 90_000))
+    def test_property_random_chunk_sizes(
+        self, link, link_result, bit_period, chunk_size
+    ):
+        receiver, run = _stream_decode(
+            link, link_result.capture, bit_period, chunk_size
+        )
+        assert run.stats.lossless
+        np.testing.assert_array_equal(
+            receiver.finalize().bits, link_result.decode.bits
+        )
+
+
+class TestOnlineMachinery:
+    def test_events_emitted_with_latency_stamps(
+        self, link, link_result, bit_period
+    ):
+        receiver, run = _stream_decode(
+            link, link_result.capture, bit_period, 4096
+        )
+        # One event per closed bit: all but the final (unclosed) bit.
+        assert run.n_events == link_result.decode.bits.size - 1
+        for event in run.events:
+            assert event.latency_s >= 0
+            assert event.emitted_at_s >= event.time_s
+        indices = [e.index for e in run.events]
+        assert indices == sorted(indices)
+
+    def test_online_sync_locks_and_stamps_payload(
+        self, link, link_result, bit_period
+    ):
+        receiver, run = _stream_decode(
+            link, link_result.capture, bit_period, 4096
+        )
+        assert receiver.synchronized
+        assert receiver.payload_start_index is not None
+        stamped = [e for e in run.events if e.payload_index is not None]
+        assert stamped, "no payload-stamped events after sync"
+        assert stamped[0].payload_index == 0
+
+    def test_provisional_bits_close_to_final(
+        self, link, link_result, bit_period
+    ):
+        # The rolling threshold is provisional by design, but on a clean
+        # capture it should agree with the batch labels almost always.
+        receiver, run = _stream_decode(
+            link, link_result.capture, bit_period, 4096
+        )
+        final = receiver.finalize()
+        online = np.array([e.bit for e in run.events])
+        agreement = np.mean(online == final.bits[: online.size])
+        assert agreement > 0.9
+
+    def test_bootstrap_without_expected_period(self, link, link_result):
+        # No expected_bit_period_s: the receiver bootstraps the symbol
+        # period online from the envelope autocorrelation, and the
+        # finalised decode still matches the batch decoder configured
+        # the same way.
+        source = CaptureChunkSource(link_result.capture, 4096)
+        receiver = StreamingReceiver(
+            source.meta,
+            link.vrm_frequency_hz,
+            config=link.decoder_config,
+            frame_format=link.frame_format,
+        )
+        run = StreamRunner(source, receiver).run()
+        assert run.n_events > 0
+        batch = BatchDecoder(
+            link.vrm_frequency_hz, config=link.decoder_config
+        ).decode(link_result.capture)
+        np.testing.assert_array_equal(receiver.finalize().bits, batch.bits)
+
+    def test_callback_sees_every_event(self, link, link_result, bit_period):
+        seen = []
+        source = CaptureChunkSource(link_result.capture, 8192)
+        receiver = StreamingReceiver(
+            source.meta,
+            link.vrm_frequency_hz,
+            expected_bit_period_s=bit_period,
+            config=link.decoder_config,
+            on_event=seen.append,
+        )
+        run = StreamRunner(source, receiver).run()
+        assert len(seen) == run.n_events
+        assert seen == receiver.events
+
+
+class TestValidation:
+    def test_rejects_bad_vrm(self, link, link_result):
+        source = CaptureChunkSource(link_result.capture, 4096)
+        with pytest.raises(ValueError):
+            StreamingReceiver(source.meta, 0.0)
+
+    def test_finalize_without_frames_raises(self, link):
+        meta = CaptureChunkSource(
+            IQCapture(
+                samples=np.zeros(8, dtype=np.complex64),
+                sample_rate=2e5,
+                center_frequency=link.tuned_frequency_hz,
+            ),
+            chunk_size=8,
+        ).meta
+        receiver = StreamingReceiver(meta, link.vrm_frequency_hz)
+        with pytest.raises(ValueError, match="envelope"):
+            receiver.finalize()

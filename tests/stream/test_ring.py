@@ -1,0 +1,78 @@
+"""Tests for the bounded chunk buffer."""
+
+import numpy as np
+import pytest
+
+from repro.stream.ring import BufferFull, RingBuffer
+from repro.stream.source import Chunk
+
+
+def _chunk(index, size=4):
+    return Chunk(
+        samples=np.zeros(size, dtype=np.complex64),
+        start_sample=index * size,
+        index=index,
+        arrival_s=index * 0.01,
+    )
+
+
+class TestValidation:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            RingBuffer(4, policy="yolo")
+
+
+class TestBlockPolicy:
+    def test_fifo_order(self):
+        ring = RingBuffer(3)
+        for i in range(3):
+            ring.push(_chunk(i))
+        assert [ring.pop().index for _ in range(3)] == [0, 1, 2]
+        assert ring.pop() is None
+
+    def test_full_push_raises(self):
+        ring = RingBuffer(2)
+        ring.push(_chunk(0))
+        ring.push(_chunk(1))
+        assert ring.full
+        with pytest.raises(BufferFull):
+            ring.push(_chunk(2))
+        # Nothing was lost.
+        assert ring.dropped_chunks == 0
+        assert len(ring) == 2
+
+
+class TestDropOldestPolicy:
+    def test_eviction_returns_and_counts_victims(self):
+        ring = RingBuffer(2, policy="drop-oldest")
+        assert ring.push(_chunk(0)) == []
+        assert ring.push(_chunk(1)) == []
+        evicted = ring.push(_chunk(2))
+        assert [c.index for c in evicted] == [0]
+        assert ring.dropped_chunks == 1
+        assert ring.dropped_samples == 4
+        assert [ring.pop().index, ring.pop().index] == [1, 2]
+
+
+class TestAccounting:
+    def test_occupancy_and_watermark(self):
+        ring = RingBuffer(4)
+        assert ring.occupancy == 0.0
+        ring.push(_chunk(0))
+        ring.push(_chunk(1))
+        assert ring.occupancy == pytest.approx(0.5)
+        assert ring.high_watermark == 2
+        ring.pop()
+        assert ring.high_watermark == 2  # watermark is a high-water mark
+        assert ring.pushed == 2
+        assert ring.popped == 1
+
+    def test_peek_does_not_consume(self):
+        ring = RingBuffer(2)
+        ring.push(_chunk(7))
+        assert ring.peek().index == 7
+        assert len(ring) == 1

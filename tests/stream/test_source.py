@@ -1,0 +1,79 @@
+"""Tests for the chunk sources."""
+
+import numpy as np
+import pytest
+
+from repro.stream.source import CaptureChunkSource, Chunk, StreamMeta
+from repro.types import IQCapture
+
+
+def _capture(n=1000, fs=1e4):
+    rng = np.random.default_rng(7)
+    samples = (rng.normal(size=n) + 1j * rng.normal(size=n)).astype(
+        np.complex64
+    )
+    return IQCapture(samples=samples, sample_rate=fs, center_frequency=1e5)
+
+
+class TestStreamMeta:
+    def test_rejects_bad_sample_rate(self):
+        with pytest.raises(ValueError):
+            StreamMeta(sample_rate=0, center_frequency=1.0)
+
+    def test_capture_stub_carries_metadata(self):
+        meta = StreamMeta(sample_rate=2e6, center_frequency=3e5)
+        stub = meta.as_capture_stub()
+        assert stub.samples.size == 0
+        assert stub.sample_rate == 2e6
+        assert stub.baseband_offset(3.5e5) == pytest.approx(5e4)
+
+
+class TestCaptureChunkSource:
+    def test_rejects_bad_parameters(self):
+        cap = _capture()
+        with pytest.raises(ValueError):
+            CaptureChunkSource(cap, chunk_size=0)
+        with pytest.raises(ValueError):
+            CaptureChunkSource(cap, chunk_size=64, jitter_rel=-0.1)
+
+    def test_chunks_partition_the_capture(self):
+        cap = _capture(n=1000)
+        source = CaptureChunkSource(cap, chunk_size=300)
+        chunks = list(source)
+        assert source.n_chunks == 4
+        assert [c.size for c in chunks] == [300, 300, 300, 100]
+        assert [c.start_sample for c in chunks] == [0, 300, 600, 900]
+        assert [c.index for c in chunks] == [0, 1, 2, 3]
+        glued = np.concatenate([c.samples for c in chunks])
+        np.testing.assert_array_equal(glued, cap.samples)
+
+    def test_oversized_chunk_yields_one_chunk(self):
+        cap = _capture(n=500)
+        chunks = list(CaptureChunkSource(cap, chunk_size=10_000))
+        assert len(chunks) == 1
+        assert chunks[0].size == 500
+
+    def test_arrivals_monotone_with_jitter(self):
+        cap = _capture(n=5000)
+        source = CaptureChunkSource(cap, chunk_size=256, jitter_rel=0.5)
+        arrivals = [c.arrival_s for c in source]
+        assert all(b >= a for a, b in zip(arrivals, arrivals[1:]))
+        # Jitter only ever delays past the real-time completion.
+        for i, t in enumerate(arrivals):
+            nominal = min((i + 1) * 256, 5000) / cap.sample_rate
+            assert t >= nominal
+
+    def test_jitter_is_seed_deterministic(self):
+        cap = _capture()
+        a = [c.arrival_s for c in CaptureChunkSource(cap, 128, jitter_rel=0.3)]
+        b = [c.arrival_s for c in CaptureChunkSource(cap, 128, jitter_rel=0.3)]
+        assert a == b
+
+    def test_chunk_end_sample(self):
+        c = Chunk(
+            samples=np.zeros(5, dtype=np.complex64),
+            start_sample=10,
+            index=2,
+            arrival_s=0.1,
+        )
+        assert c.end_sample == 15

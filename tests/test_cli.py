@@ -97,6 +97,74 @@ class TestCommands:
         assert manifest["experiment"] == "fig4"
 
 
+class TestStreamCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["stream", "hi"])
+        assert args.chunk_size == 4096
+        assert args.buffer_capacity == 64
+        assert args.policy == "block"
+        assert args.service_rate is None
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["stream", "hi", "--chunk-size", "0"],
+            ["stream", "hi", "--chunk-size", "-5"],
+            ["stream", "hi", "--buffer-capacity", "0"],
+            ["stream", "hi", "--buffer-capacity", "-1"],
+            ["stream", "hi", "--jitter", "-0.1"],
+            ["stream", "hi", "--service-rate", "0"],
+            ["keylog", "hi", "--stream", "--chunk-size", "0"],
+        ],
+    )
+    def test_invalid_arguments_exit_2(self, capsys, argv):
+        assert main(argv) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_policy_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "hi", "--policy", "fifo"])
+
+    def test_stream_demo_bit_exact(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "stream.jsonl"
+        argv = [
+            "stream", "Hi", "--seed", "1", "--chunk-size", "2048",
+            "--jitter", "0.2", "--trace", str(trace),
+            "--manifest-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "bit-exact with the batch decoder" in out
+        assert "sync=locked" in out
+        events = [json.loads(l) for l in trace.read_text().splitlines()]
+        assert any(e.get("name") == "stream.chunk" for e in events)
+        manifest = json.loads((tmp_path / "stream-demo.json").read_text())
+        assert manifest["stream"]["lossless"] is True
+        assert "stream.chunks" in manifest["metrics"]
+
+    def test_stream_demo_lossy(self, capsys):
+        # A deliberately starved receiver: drops must be reported, and
+        # the command still exits 0 (loss is a reported condition, not
+        # a failure).
+        argv = [
+            "stream", "Hi", "--seed", "1", "--chunk-size", "2048",
+            "--policy", "drop-oldest", "--buffer-capacity", "4",
+            "--service-rate", "8000",
+        ]
+        with pytest.warns(RuntimeWarning):
+            assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "lossy stream" in out
+
+    def test_keylog_stream_reports_latency(self, capsys):
+        assert main(["keylog", "abc abc", "--seed", "2", "--stream"]) == 0
+        out = capsys.readouterr().out
+        assert "keystroke at" in out
+        assert "detection latency" in out
+
+
 class TestRegressCommand:
     def test_record_then_compare(self, capsys, tmp_path):
         argv = ["regress", "--baseline-dir", str(tmp_path),
