@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-parallel smoke-parallel smoke-stream regress regress-record
+.PHONY: test bench bench-parallel bench-sweep smoke-parallel smoke-stream smoke-sweep regress regress-record
 
 test:
 	$(PY) -m pytest -x -q
@@ -14,10 +14,23 @@ bench-parallel:
 	$(PY) -m pytest benchmarks/test_bench_parallel.py \
 		--benchmark-only --benchmark-json=BENCH_parallel.json
 
+# Time the sweep engine against trial-at-a-time naive execution on the
+# receiver grid (analog chain shared by all eight trials) and record
+# the numbers, including the extra_info speedup, to BENCH_sweep.json.
+bench-sweep:
+	$(PY) -m pytest benchmarks/test_bench_sweep.py \
+		--benchmark-only --benchmark-json=BENCH_sweep.json
+
 # Quick end-to-end sanity check of the process pool: one experiment
 # fanned out across two workers.
 smoke-parallel:
 	$(PY) -m repro run table2 --jobs 2
+
+# Quick end-to-end sanity check of the sweep engine: the eight-config
+# receiver grid planned along the chain-cache key DAG and executed
+# across two workers (shared capture travels by cache key).
+smoke-sweep:
+	$(PY) -m repro sweep receiver-grid --jobs 2
 
 # Quick end-to-end sanity check of the streaming receiver: chunked
 # replay with arrival jitter, verified bit-exact against the batch

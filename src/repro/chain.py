@@ -27,6 +27,14 @@ that varies only the dithering hits ``k_burst`` and re-runs just the
 dither + synthesis.
 Every cached value stores the RNG state on *exit* from its stage, which
 a hit restores, so cached and uncached runs are bit-identical.
+Stage computes run under per-key stampede locks (disk-backed caches
+only): when two workers miss the same key concurrently, exactly one
+computes while the other blocks and is then served the published value,
+traced as ``cache.stampede_avoided``.
+
+:func:`capture_chain_keys` names a trial's whole key chain without
+executing anything; :mod:`repro.sweep` uses it to group a parameter
+grid by shared prefix and compute every shared stage exactly once.
 
 Each stage is also bracketed with :func:`repro.exec.timing.stage`, so
 harnesses that collect timings see where the wall-clock went
@@ -48,12 +56,16 @@ therefore runs with the cache disabled.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
 import numpy as np
 
 from .em.environment import Scenario
 from .exec.cache import CHAIN_SCHEMA, fingerprint, get_chain_cache
 from .exec.timing import stage
 from .obs.metrics import (
+    get_metrics,
     tap_activity,
     tap_bursts,
     tap_capture,
@@ -149,6 +161,66 @@ def _chain_keys(
     return k_power, k_burst, k_dither, k_emit
 
 
+@dataclass(frozen=True)
+class ChainKeys:
+    """The layered cache-key chain of one trial, computed without
+    running any stage.
+
+    ``capture`` is None when no scenario was supplied (emission-only
+    chains).  When dithering is off, ``dither`` equals ``burst`` and
+    the dither stage does not exist as a distinct node.
+    """
+
+    power: str
+    burst: str
+    dither: str
+    emit: str
+    capture: Optional[str] = None
+
+    def stages(self) -> List[Tuple[str, str]]:
+        """Ordered (stage, key) nodes, collapsing the absent dither."""
+        nodes = [("pmu", self.power), ("vrm", self.burst)]
+        if self.dither != self.burst:
+            nodes.append(("dither", self.dither))
+        nodes.append(("emission", self.emit))
+        if self.capture is not None:
+            nodes.append(("capture", self.capture))
+        return nodes
+
+
+def capture_chain_keys(
+    machine: Machine,
+    activity: ActivityTrace,
+    scenario: Optional[Scenario],
+    profile: SimProfile,
+    rng: np.random.Generator,
+    *,
+    allow_c_states: bool = True,
+    allow_p_states: bool = True,
+    vrm_dithering=None,
+) -> ChainKeys:
+    """Fingerprint a trial's whole key chain without executing it.
+
+    This is the planner's entry point: given the chain inputs (the RNG
+    is read, never advanced), it names every stage the trial would
+    compute, so trials can be grouped by shared prefix before anything
+    runs.
+    """
+    k_power, k_burst, k_dither, k_emit = _chain_keys(
+        machine,
+        activity,
+        profile,
+        rng,
+        allow_c_states,
+        allow_p_states,
+        vrm_dithering,
+    )
+    k_capture = None
+    if scenario is not None:
+        k_capture = fingerprint(CHAIN_SCHEMA, "capture", k_emit, scenario)
+    return ChainKeys(k_power, k_burst, k_dither, k_emit, k_capture)
+
+
 # ---------------------------------------------------------------------------
 # Tracing helpers
 
@@ -172,6 +244,42 @@ def _stage_span(name: str, key, rng: np.random.Generator):
         {"cache": "off" if key is None else "miss", "key": key_prefix(key)},
         lazy=lambda: {"rng": rng_digest(rng)},
     )
+
+
+def _compute_through_lock(cache, key, name, rng, compute, on_hit=None):
+    """Run a missed stage under the per-key stampede lock and publish it.
+
+    ``compute`` executes the stage (with its own span/timing brackets)
+    and returns the stage value, leaving ``rng`` in the stage's exit
+    state.  If a concurrent worker published the value while this one
+    waited for the lock, the re-probe serves the cached value instead -
+    restoring the RNG state exactly as a plain hit would - and emits a
+    ``cache.stampede_avoided`` event, so every key is computed at most
+    once across all workers sharing the disk layer.  ``on_hit`` lets
+    call sites replay metric taps that the skipped compute would have
+    issued.
+    """
+    with cache.lock(key) as locked:
+        if locked:
+            hit = cache.reprobe(key)
+            if hit is not None:
+                value, state_after = hit
+                rng.bit_generator.state = state_after
+                trace_event(
+                    "cache.stampede_avoided",
+                    key=key_prefix(key),
+                    stage=name,
+                )
+                registry = get_metrics()
+                if registry is not None:
+                    registry.counter("cache.stampede_avoided").inc()
+                _stage_hit(name, key, rng)
+                if on_hit is not None:
+                    on_hit(value)
+                return value
+        value = compute()
+        cache.put(key, (value, _rng_state(rng)))
+    return value
 
 
 # ---------------------------------------------------------------------------
@@ -200,13 +308,18 @@ def run_power_chain(
             rng.bit_generator.state = state_after
             _stage_hit("pmu", key, rng)
             return power_trace
-    with stage("pmu"), _stage_span("pmu", key, rng):
-        table = machine.power_table(allow_c=allow_c_states, allow_p=allow_p_states)
-        pmu = PMU(table, governor=machine.governor(table, profile), rng=rng)
-        power_trace = pmu.run(activity)
-    if cache is not None:
-        cache.put(key, (power_trace, _rng_state(rng)))
-    return power_trace
+
+    def compute() -> PowerStateTrace:
+        with stage("pmu"), _stage_span("pmu", key, rng):
+            table = machine.power_table(
+                allow_c=allow_c_states, allow_p=allow_p_states
+            )
+            pmu = PMU(table, governor=machine.governor(table, profile), rng=rng)
+            return pmu.run(activity)
+
+    if cache is None:
+        return compute()
+    return _compute_through_lock(cache, key, "pmu", rng, compute)
 
 
 def _simulate_bursts(
@@ -304,30 +417,130 @@ def render_emission(
         tap_emission(wave)
         return wave
 
-    if vrm_dithering is not None:
-        hit = cache.get(k_dither)
-        if hit is not None:
-            bursts, state_after = hit
-            rng.bit_generator.state = state_after
-            _stage_hit("dither", k_dither, rng)
-        else:
-            bursts = _cached_bursts(
-                cache,
-                k_power,
-                k_burst,
-                machine,
-                activity,
-                profile,
-                rng,
-                allow_c_states=allow_c_states,
-                allow_p_states=allow_p_states,
-            )
-            with stage("dither"), _stage_span("dither", k_dither, rng):
+    def compute_emit() -> np.ndarray:
+        bursts = _resolve_bursts(
+            cache,
+            k_power,
+            k_burst,
+            k_dither,
+            machine,
+            activity,
+            profile,
+            rng,
+            allow_c_states=allow_c_states,
+            allow_p_states=allow_p_states,
+            vrm_dithering=vrm_dithering,
+        )
+        # Synthesis is deterministic: RNG state is unchanged from the
+        # dither/burst stage, so storing the current state is exact.
+        return _synthesize(machine, profile, bursts, key=k_emit)
+
+    return _compute_through_lock(
+        cache, k_emit, "emission", rng, compute_emit, on_hit=tap_emission
+    )
+
+
+def render_bursts(
+    machine: Machine,
+    activity: ActivityTrace,
+    profile: SimProfile,
+    rng: np.random.Generator,
+    *,
+    allow_c_states: bool = True,
+    allow_p_states: bool = True,
+    vrm_dithering=None,
+) -> BurstTrain:
+    """Digital + VRM halves only: activity -> (optionally dithered)
+    burst train.
+
+    A stage-wise entry point for planners/executors that want to warm a
+    shared burst-level prefix (e.g. a dithering sweep, where every trial
+    shares the raw train but diverges at the dither stage) without
+    paying for synthesis.
+    """
+    cache = get_chain_cache()
+    if cache is None:
+        power_trace = run_power_chain(
+            machine,
+            activity,
+            profile,
+            rng,
+            allow_c_states=allow_c_states,
+            allow_p_states=allow_p_states,
+        )
+        bursts = _simulate_bursts(
+            machine,
+            profile,
+            power_trace,
+            rng,
+            allow_c_states=allow_c_states,
+            allow_p_states=allow_p_states,
+        )
+        if vrm_dithering is not None:
+            with stage("dither"), _stage_span("dither", None, rng):
                 bursts = vrm_dithering.apply(
                     bursts, rng, time_scale=profile.time_scale
                 )
-            cache.put(k_dither, (bursts, _rng_state(rng)))
-    else:
+        return bursts
+    k_power, k_burst, k_dither, _ = _chain_keys(
+        machine,
+        activity,
+        profile,
+        rng,
+        allow_c_states,
+        allow_p_states,
+        vrm_dithering,
+    )
+    return _resolve_bursts(
+        cache,
+        k_power,
+        k_burst,
+        k_dither,
+        machine,
+        activity,
+        profile,
+        rng,
+        allow_c_states=allow_c_states,
+        allow_p_states=allow_p_states,
+        vrm_dithering=vrm_dithering,
+    )
+
+
+def _resolve_bursts(
+    cache,
+    k_power: str,
+    k_burst: str,
+    k_dither: str,
+    machine: Machine,
+    activity: ActivityTrace,
+    profile: SimProfile,
+    rng: np.random.Generator,
+    *,
+    allow_c_states: bool,
+    allow_p_states: bool,
+    vrm_dithering,
+) -> BurstTrain:
+    """The burst train a synthesis consumes: dithered when configured."""
+    if vrm_dithering is None:
+        return _cached_bursts(
+            cache,
+            k_power,
+            k_burst,
+            machine,
+            activity,
+            profile,
+            rng,
+            allow_c_states=allow_c_states,
+            allow_p_states=allow_p_states,
+        )
+    hit = cache.get(k_dither)
+    if hit is not None:
+        bursts, state_after = hit
+        rng.bit_generator.state = state_after
+        _stage_hit("dither", k_dither, rng)
+        return bursts
+
+    def compute_dither() -> BurstTrain:
         bursts = _cached_bursts(
             cache,
             k_power,
@@ -339,11 +552,10 @@ def render_emission(
             allow_c_states=allow_c_states,
             allow_p_states=allow_p_states,
         )
-    wave = _synthesize(machine, profile, bursts, key=k_emit)
-    # Synthesis is deterministic: RNG state is unchanged from the
-    # dither/burst stage, so storing the current state is exact.
-    cache.put(k_emit, (wave, _rng_state(rng)))
-    return wave
+        with stage("dither"), _stage_span("dither", k_dither, rng):
+            return vrm_dithering.apply(bursts, rng, time_scale=profile.time_scale)
+
+    return _compute_through_lock(cache, k_dither, "dither", rng, compute_dither)
 
 
 def _cached_bursts(
@@ -365,30 +577,39 @@ def _cached_bursts(
         rng.bit_generator.state = state_after
         _stage_hit("vrm", k_burst, rng)
         return bursts
-    hit = cache.get(k_power)
-    if hit is not None:
-        power_trace, state_after = hit
-        rng.bit_generator.state = state_after
-        _stage_hit("pmu", k_power, rng)
-    else:
-        with stage("pmu"), _stage_span("pmu", k_power, rng):
-            table = machine.power_table(
-                allow_c=allow_c_states, allow_p=allow_p_states
+
+    def compute_bursts() -> BurstTrain:
+        hit = cache.get(k_power)
+        if hit is not None:
+            power_trace, state_after = hit
+            rng.bit_generator.state = state_after
+            _stage_hit("pmu", k_power, rng)
+        else:
+
+            def compute_power() -> PowerStateTrace:
+                with stage("pmu"), _stage_span("pmu", k_power, rng):
+                    table = machine.power_table(
+                        allow_c=allow_c_states, allow_p=allow_p_states
+                    )
+                    pmu = PMU(
+                        table, governor=machine.governor(table, profile), rng=rng
+                    )
+                    return pmu.run(activity)
+
+            power_trace = _compute_through_lock(
+                cache, k_power, "pmu", rng, compute_power
             )
-            pmu = PMU(table, governor=machine.governor(table, profile), rng=rng)
-            power_trace = pmu.run(activity)
-        cache.put(k_power, (power_trace, _rng_state(rng)))
-    bursts = _simulate_bursts(
-        machine,
-        profile,
-        power_trace,
-        rng,
-        allow_c_states=allow_c_states,
-        allow_p_states=allow_p_states,
-        key=k_burst,
-    )
-    cache.put(k_burst, (bursts, _rng_state(rng)))
-    return bursts
+        return _simulate_bursts(
+            machine,
+            profile,
+            power_trace,
+            rng,
+            allow_c_states=allow_c_states,
+            allow_p_states=allow_p_states,
+            key=k_burst,
+        )
+
+    return _compute_through_lock(cache, k_burst, "vrm", rng, compute_bursts)
 
 
 def render_capture(
@@ -411,16 +632,17 @@ def render_capture(
     cache = get_chain_cache()
     k_capture = None
     if cache is not None:
-        _, _, _, k_emit = _chain_keys(
+        keys = capture_chain_keys(
             machine,
             activity,
+            scenario,
             profile,
             rng,
-            allow_c_states,
-            allow_p_states,
-            vrm_dithering,
+            allow_c_states=allow_c_states,
+            allow_p_states=allow_p_states,
+            vrm_dithering=vrm_dithering,
         )
-        k_capture = fingerprint(CHAIN_SCHEMA, "capture", k_emit, scenario)
+        k_capture = keys.capture
         hit = cache.get(k_capture)
         if hit is not None:
             capture, state_after = hit
@@ -431,27 +653,38 @@ def render_capture(
             tap_activity(activity)
             tap_capture(capture, adc_bits=8)
             return capture
-    wave = render_emission(
-        machine,
-        activity,
-        profile,
-        rng,
-        allow_c_states=allow_c_states,
-        allow_p_states=allow_p_states,
-        vrm_dithering=vrm_dithering,
-    )
-    with stage("propagation"), _stage_span("propagation", k_capture, rng):
-        antenna_v = scenario.apply(wave, profile.rf_sample_rate_hz, rng)
-        tap_propagation(wave, antenna_v, scenario)
-    with stage("sdr"), _stage_span("sdr", k_capture, rng):
-        sdr = RtlSdrV3(sample_rate=profile.sdr_sample_rate_hz)
-        capture = sdr.capture(
-            antenna_v,
-            profile.rf_sample_rate_hz,
-            tuned_frequency_hz(machine, profile),
+
+    def compute_capture() -> IQCapture:
+        wave = render_emission(
+            machine,
+            activity,
+            profile,
             rng,
+            allow_c_states=allow_c_states,
+            allow_p_states=allow_p_states,
+            vrm_dithering=vrm_dithering,
         )
-        tap_capture(capture, sdr.bits)
-    if cache is not None:
-        cache.put(k_capture, (capture, _rng_state(rng)))
-    return capture
+        with stage("propagation"), _stage_span("propagation", k_capture, rng):
+            antenna_v = scenario.apply(wave, profile.rf_sample_rate_hz, rng)
+            tap_propagation(wave, antenna_v, scenario)
+        with stage("sdr"), _stage_span("sdr", k_capture, rng):
+            sdr = RtlSdrV3(sample_rate=profile.sdr_sample_rate_hz)
+            capture = sdr.capture(
+                antenna_v,
+                profile.rf_sample_rate_hz,
+                tuned_frequency_hz(machine, profile),
+                rng,
+            )
+            tap_capture(capture, sdr.bits)
+        return capture
+
+    if cache is None:
+        return compute_capture()
+
+    def replay_taps(capture: IQCapture) -> None:
+        tap_activity(activity)
+        tap_capture(capture, adc_bits=8)
+
+    return _compute_through_lock(
+        cache, k_capture, "sdr", rng, compute_capture, on_hit=replay_taps
+    )

@@ -20,6 +20,12 @@ Subcommands
 ``regress [--record]``
     Compare (or re-record) the fixed-seed metric baselines in
     ``baselines/`` - the signal-quality regression gate.
+``sweep <name|spec.json>``
+    Run a parameter sweep through the cache-topology-aware engine:
+    plan the grid along the chain-cache key DAG (``--plan`` prints the
+    plan and stops), compute each shared analog prefix exactly once,
+    and fan the per-trial tails over the process pool, with resumable
+    JSONL results.  ``sweep list`` shows the named presets.
 """
 
 from __future__ import annotations
@@ -118,6 +124,70 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help="restrict to one scenario (repeatable; default: all)",
+    )
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="cache-topology-aware parameter sweep (plan + execute)",
+    )
+    sweep_p.add_argument(
+        "spec",
+        help="preset name (see 'sweep list'), or a SweepSpec JSON file",
+    )
+    sweep_p.add_argument(
+        "--plan",
+        action="store_true",
+        help="print the key-DAG plan (sharing, warm groups) and exit",
+    )
+    sweep_p.add_argument(
+        "--results",
+        default=None,
+        metavar="FILE",
+        help="append per-trial records to this JSONL file; trials whose "
+        "records are already present are skipped (resume)",
+    )
+    sweep_p.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore existing records in --results (no resume)",
+    )
+    sweep_p.add_argument(
+        "--naive",
+        action="store_true",
+        help="reference path: run every trial independently with the "
+        "chain cache disabled",
+    )
+    sweep_p.add_argument("--seed", type=int, default=0)
+    sweep_p.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-weight preset sizes (slower); default is quick mode",
+    )
+    sweep_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (0 = all CPUs); results are "
+        "bit-identical at any worker count",
+    )
+    sweep_p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the chain cache to this directory (shared across "
+        "runs and workers)",
+    )
+    sweep_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed chain cache",
+    )
+    sweep_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write sweep.plan/sweep.group/stage/cache events as JSONL",
     )
 
     send_p = sub.add_parser("send", help="covert-channel demo")
@@ -269,6 +339,86 @@ def _cmd_regress(args) -> int:
     report = compare(directory, scenarios=args.scenario)
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_sweep(args) -> int:
+    import contextlib
+    import json
+
+    from .exec.context import execution_scope
+    from .exec.pool import default_jobs
+    from .obs.trace import tracing_scope
+    from .sweep import SweepSpec, get_preset, plan_sweep, run_sweep
+    from .sweep.presets import PRESETS
+
+    if args.spec == "list":
+        for name in sorted(PRESETS):
+            print(name)
+        return 0
+    spec_path = Path(args.spec)
+    if spec_path.exists():
+        try:
+            with spec_path.open("r", encoding="utf-8") as fh:
+                spec = SweepSpec.from_mapping(json.load(fh))
+        except (json.JSONDecodeError, ValueError) as exc:
+            print(f"error: bad sweep spec {args.spec}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            spec = get_preset(args.spec, seed=args.seed, quick=not args.full)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    jobs = args.jobs
+    if jobs is not None and jobs < 0:
+        print(f"error: --jobs must be >= 0, got {jobs}", file=sys.stderr)
+        return 2
+    if jobs == 0:
+        jobs = default_jobs()
+    with contextlib.ExitStack() as stack:
+        overrides = {}
+        if jobs is not None:
+            overrides["jobs"] = jobs
+        if args.no_cache:
+            overrides["cache_enabled"] = False
+        if args.cache_dir is not None:
+            overrides["cache_dir"] = args.cache_dir
+        if overrides:
+            stack.enter_context(execution_scope(**overrides))
+        if args.trace:
+            stack.enter_context(tracing_scope(args.trace))
+        plan = plan_sweep(spec)
+        print(plan.describe())
+        if args.plan:
+            return 0
+        outcome = run_sweep(
+            spec,
+            plan=plan,
+            results_path=args.results,
+            resume=not args.fresh,
+            naive=args.naive,
+        )
+        width = max(
+            [len(r["label"] or r["trial_id"][:12]) for r in outcome.records]
+            + [len("trial")]
+        )
+        print(f"{'trial':<{width}}  {'BER':>8}  {'IP':>8}  {'DP':>8}  "
+              f"{'TR_bps':>8}")
+        for record in outcome.records:
+            name = record["label"] or record["trial_id"][:12]
+            r = record["result"]
+            print(
+                f"{name:<{width}}  {r['ber']:>8.4f}  {r['ip']:>8.4f}  "
+                f"{r['dp']:>8.4f}  {r['tr_bps']:>8.0f}"
+            )
+        mode = "naive" if outcome.naive else "engine"
+        print(
+            f"{mode}: {outcome.executed} executed, {outcome.resumed} "
+            f"resumed in {outcome.elapsed_s:.2f}s; plan shared "
+            f"{plan.stages_saved} of {plan.naive_stage_runs} stage runs "
+            f"({plan.sharing_factor:.2f}x)"
+        )
+    return 0
 
 
 def _cmd_send(args) -> int:
@@ -469,6 +619,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "regress":
         return _cmd_regress(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "send":
         return _cmd_send(args)
     if args.command == "keylog":

@@ -27,6 +27,24 @@ from .transmitter import Transmitter, TransmitterConfig, frame_payload
 
 
 @dataclass
+class PreparedTrial:
+    """The digital (cheap) half of one link run, before the analog chain.
+
+    Everything up to the first stochastic analog stage: framed bits, the
+    mixed activity trace, and the RNG positioned exactly where
+    :func:`repro.chain.render_capture` would consume it.  The sweep
+    planner uses this to fingerprint a trial's cache-key chain without
+    paying for the chain itself; :meth:`CovertLink.run_prepared`
+    finishes the run.
+    """
+
+    tx_bits: np.ndarray
+    activity: ActivityTrace
+    rng: np.random.Generator
+    nominal_bit_duration_s: float
+
+
+@dataclass
 class LinkResult:
     """Everything produced by one link run."""
 
@@ -122,6 +140,46 @@ class CovertLink:
             rng=rng,
         )
 
+    def prepare(self, payload_bits) -> PreparedTrial:
+        """Run the digital half only: framing, transmission timing, and
+        OS activity mixing.
+
+        Consumes exactly the RNG draws the full :meth:`run` would before
+        entering the analog chain, so the returned generator state is
+        the chain's true entry state (the root of its cache-key chain).
+        """
+        rng = np.random.default_rng(self.seed)
+        tx_bits = frame_payload(payload_bits, self.frame_format, self.use_ecc)
+        transmitter = self.transmitter(rng)
+        activity = transmitter.transmit(tx_bits)
+        activity = self._mix_system_activity(activity, rng)
+        return PreparedTrial(
+            tx_bits=tx_bits,
+            activity=activity,
+            rng=rng,
+            nominal_bit_duration_s=transmitter.nominal_bit_duration_s(),
+        )
+
+    def run_prepared(self, prepared: PreparedTrial) -> LinkResult:
+        """Finish a prepared run: analog chain, then the batch receiver."""
+        capture = self.render_capture(prepared.activity, prepared.rng)
+        decoder = BatchDecoder(
+            self.vrm_frequency_hz,
+            expected_bit_period_s=prepared.nominal_bit_duration_s,
+            config=self.decoder_config,
+        )
+        decode = decoder.decode(capture)
+        metrics = align_bits(prepared.tx_bits, decode.bits)
+        return LinkResult(
+            tx_bits=prepared.tx_bits,
+            decode=decode,
+            metrics=metrics,
+            capture=capture,
+            activity=prepared.activity,
+            duration_s=prepared.activity.duration,
+            profile=self.profile,
+        )
+
     def run(self, payload_bits) -> LinkResult:
         """Transmit a payload and decode it; returns raw-channel metrics.
 
@@ -129,28 +187,7 @@ class CovertLink:
         receiver's raw decoded stream (before ECC), which is what the
         paper's BER/IP/DP columns measure.
         """
-        rng = np.random.default_rng(self.seed)
-        tx_bits = frame_payload(payload_bits, self.frame_format, self.use_ecc)
-        transmitter = self.transmitter(rng)
-        activity = transmitter.transmit(tx_bits)
-        activity = self._mix_system_activity(activity, rng)
-        capture = self.render_capture(activity, rng)
-        decoder = BatchDecoder(
-            self.vrm_frequency_hz,
-            expected_bit_period_s=transmitter.nominal_bit_duration_s(),
-            config=self.decoder_config,
-        )
-        decode = decoder.decode(capture)
-        metrics = align_bits(tx_bits, decode.bits)
-        return LinkResult(
-            tx_bits=tx_bits,
-            decode=decode,
-            metrics=metrics,
-            capture=capture,
-            activity=activity,
-            duration_s=activity.duration,
-            profile=self.profile,
-        )
+        return self.run_prepared(self.prepare(payload_bits))
 
     def render_capture(
         self, activity: ActivityTrace, rng: np.random.Generator

@@ -14,6 +14,14 @@ Two layers:
 * an in-memory LRU bounded by a byte budget (per process);
 * an optional on-disk layer (``cache_dir``), shared between worker
   processes and across runs, written atomically.
+
+When the disk layer is active, :meth:`ChainCache.lock` provides a
+per-key advisory file lock so concurrent workers that miss the same key
+do not all compute it (the cache-stampede problem): the first one in
+computes and publishes, the rest block on the lock and then re-probe
+(:meth:`ChainCache.reprobe`) before falling back to computing.
+:meth:`ChainCache.probe` answers "which layer holds this key" without
+deserializing the value, which the sweep planner uses to predict hits.
 """
 
 from __future__ import annotations
@@ -25,8 +33,14 @@ import os
 import pickle
 import tempfile
 from collections import OrderedDict
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Optional, Tuple
+from typing import Any, Iterator, Optional, Tuple
+
+try:  # POSIX only; on other platforms per-key locks degrade to no-ops
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
 
 import numpy as np
 
@@ -157,6 +171,67 @@ class ChainCache:
         self._remember(key, copy.deepcopy(value))
         self._disk_write(key, value)
         trace_event("cache", op="put", key=key_prefix(key))
+
+    def probe(self, key: str) -> Optional[str]:
+        """Which layer holds ``key`` ("memory"/"disk"), without reading it.
+
+        Unlike :meth:`get` this neither deserializes the value nor
+        counts toward hit/miss statistics, so planners can ask "would
+        this be a hit?" cheaply and without skewing the numbers.
+        """
+        if key in self._entries:
+            return "memory"
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            return "disk"
+        return None
+
+    def reprobe(self, key: str) -> Optional[Any]:
+        """Re-read ``key`` from the disk layer after waiting on its lock.
+
+        Used on the loser's side of a stampede: the first probe missed,
+        the per-key lock was contended, and by the time it was acquired
+        the winner may have published the value.  Memory is skipped (a
+        same-process writer would have been seen by :meth:`get`) and a
+        find counts as a hit.
+        """
+        value = self._disk_read(key)
+        if value is None:
+            return None
+        self._remember(key, value)
+        self.hits += 1
+        trace_event("cache", op="get", key=key_prefix(key), hit=True,
+                    layer="disk-locked")
+        return copy.deepcopy(value)
+
+    @contextmanager
+    def lock(self, key: str) -> Iterator[bool]:
+        """Advisory per-key lock for stampede control; yields whether a
+        real lock was taken.
+
+        Only meaningful with a disk layer (without one, caches are
+        process-private and cannot stampede across workers); memory-only
+        caches and non-POSIX hosts yield ``False`` and synchronise
+        nothing.
+        """
+        if self.disk_dir is None or fcntl is None:
+            yield False
+            return
+        lock_dir = self.disk_dir / "locks"
+        try:
+            lock_dir.mkdir(parents=True, exist_ok=True)
+            handle = open(lock_dir / f"{key}.lock", "a+")
+        except OSError:
+            yield False  # lock dir unavailable: degrade to unlocked
+            return
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield True
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
 
     def clear(self) -> None:
         self._entries.clear()

@@ -6,18 +6,21 @@ interference).  Following the paper, the transmission rate is reduced
 with distance to hold the BER roughly constant; the ``rate_scale``
 values are the ratios of the paper's Table III TRs to its near-field
 TR.
+
+Executed through the sweep engine as two zipped axes - setups (slow) x
+runs (fast) - reproducing the pre-engine per-run seed and payload
+derivation exactly.
 """
 
 from __future__ import annotations
 
 from typing import List, Tuple
 
-from ..chain import paper_tuned_frequency_hz, tuned_frequency_hz
-from ..covert.evaluate import evaluate_link
-from ..covert.link import CovertLink
-from ..em.environment import distance_scenario, through_wall_scenario
-from ..exec.pool import parallel_map
+import numpy as np
+
 from ..params import SimProfile, TINY
+from ..sweep import SweepSpec, pooled_metrics, run_sweep
+from ..sweep.spec import profile_fields
 from ..systems.laptops import DELL_INSPIRON
 from .common import ExperimentResult, register
 
@@ -31,36 +34,38 @@ TABLE_III_ROWS: List[Tuple[str, float, float, float, float, bool]] = [
 ]
 
 
-def _evaluate_row(task) -> dict:
-    """One Table III row (one distance/wall setup)."""
-    row_spec, profile, seed, bits, runs = task
-    label, dist, rate_scale, paper_tr, paper_ber, wall = row_spec
-    machine = DELL_INSPIRON
-    band = tuned_frequency_hz(machine, profile)
-    physics = paper_tuned_frequency_hz(machine)
-    if wall:
-        scenario = through_wall_scenario(
-            band, distance_m=dist, physics_frequency_hz=physics
-        )
-    else:
-        scenario = distance_scenario(dist, band, physics_frequency_hz=physics)
-    link = CovertLink(
-        machine=machine,
-        profile=profile,
-        seed=seed,
-        scenario=scenario,
-        rate_scale=rate_scale,
-    )
-    ev = evaluate_link(link, bits_per_run=bits, n_runs=runs, label=label)
-    return {
-        "setup": label,
-        "BER": ev.ber,
-        "TR_bps": ev.transmission_rate_bps,
-        "IP": ev.insertion_probability,
-        "DP": ev.deletion_probability,
-        "paper_TR": paper_tr,
-        "paper_BER": paper_ber,
+def sweep_spec(
+    profile: SimProfile = TINY, quick: bool = True, seed: int = 0
+) -> SweepSpec:
+    bits = 150 if quick else 400
+    runs = 2 if quick else 5
+    setups = {
+        "label": [row[0] for row in TABLE_III_ROWS],
+        "scenario": [
+            {
+                "kind": "through_wall" if wall else "distance",
+                "distance_m": dist,
+            }
+            for _, dist, _, _, _, wall in TABLE_III_ROWS
+        ],
+        "rate_scale": [row[2] for row in TABLE_III_ROWS],
     }
+    return SweepSpec(
+        name="table3",
+        base={
+            "machine": DELL_INSPIRON.name,
+            "profile": profile_fields(profile),
+            "bits": bits,
+            "payload_seed": 1234,
+        },
+        zips=[
+            setups,
+            {
+                "seed": [seed + 1000 * (i + 1) for i in range(runs)],
+                "payload_index": list(range(runs)),
+            },
+        ],
+    )
 
 
 @register("table3")
@@ -69,12 +74,23 @@ def run(
     quick: bool = True,
     seed: int = 0,
 ) -> ExperimentResult:
-    bits = 150 if quick else 400
-    runs = 2 if quick else 5
-    rows = parallel_map(
-        _evaluate_row,
-        [(spec, profile, seed, bits, runs) for spec in TABLE_III_ROWS],
-    )
+    outcome = run_sweep(sweep_spec(profile, quick, seed))
+    rows = []
+    for label, _, _, paper_tr, paper_ber, _ in TABLE_III_ROWS:
+        records = [r for r in outcome.records if r["label"] == label]
+        pooled = pooled_metrics(records)
+        rates = [r["result"]["tr_bps"] for r in records]
+        rows.append(
+            {
+                "setup": label,
+                "BER": pooled.ber,
+                "TR_bps": float(np.mean(rates)),
+                "IP": pooled.insertion_probability,
+                "DP": pooled.deletion_probability,
+                "paper_TR": paper_tr,
+                "paper_BER": paper_ber,
+            }
+        )
     return ExperimentResult(
         experiment_id="table3",
         title="Covert channel vs distance (loop antenna), incl. through-wall",

@@ -352,3 +352,28 @@ def tap_stream_summary(events_per_s: float, high_watermark: int) -> None:
         return
     reg.gauge("stream.events_per_s").set(events_per_s)
     reg.gauge("stream.buffer.high_watermark").set(float(high_watermark))
+
+
+# ---------------------------------------------------------------------------
+# Sweep-engine tap (repro.sweep)
+
+
+def tap_sweep(stats) -> None:
+    """One finished sweep: how much chain work the key-DAG plan saved.
+
+    ``dedup_ratio`` is the naive-to-planned stage-run ratio (1.0 means
+    nothing was shared); ``stages_saved`` the absolute count of chain
+    stages the plan avoided recomputing.
+    """
+    reg = _registry.get()
+    if reg is None:
+        return
+    reg.counter("sweep.runs").inc()
+    reg.counter("sweep.trials").inc(float(stats.get("trials", 0.0)))
+    reg.counter("sweep.trials.executed").inc(float(stats.get("executed", 0.0)))
+    reg.counter("sweep.trials.resumed").inc(float(stats.get("resumed", 0.0)))
+    reg.counter("sweep.stages_saved").inc(
+        float(stats.get("stages_saved", 0.0))
+    )
+    reg.gauge("sweep.dedup_ratio").set(float(stats.get("sharing_factor", 1.0)))
+    reg.gauge("sweep.warm_groups").set(float(stats.get("warm_groups", 0.0)))

@@ -1,0 +1,42 @@
+"""Cache-topology-aware sweeps.
+
+The three layers, in the order they run:
+
+* :mod:`repro.sweep.spec` - a sweep as data (:class:`SweepSpec` ->
+  :class:`TrialSpec` list);
+* :mod:`repro.sweep.plan` - fingerprint every trial's chain-cache key
+  chain without running it and fold the chains into a prefix-sharing
+  DAG (:class:`SweepPlan`);
+* :mod:`repro.sweep.engine` - warm each shared stage node exactly once
+  (deepest shared prefix last, so warms always hit their own prefix),
+  then fan the per-trial tails over the process pool, with results
+  appended to a resumable JSONL store.
+
+Results are bit-identical to running every trial naively - see
+DESIGN.md §12.
+"""
+
+from .engine import SweepOutcome, pooled_metrics, run_sweep
+from .plan import StageNode, SweepPlan, TrialPlan, plan_sweep
+from .presets import PRESETS, get_preset, receiver_grid
+from .spec import SweepSpec, TrialSpec, build_link, trial_id, trial_payload
+from .store import ResultStore
+
+__all__ = [
+    "PRESETS",
+    "ResultStore",
+    "StageNode",
+    "SweepOutcome",
+    "SweepPlan",
+    "SweepSpec",
+    "TrialPlan",
+    "TrialSpec",
+    "build_link",
+    "get_preset",
+    "plan_sweep",
+    "pooled_metrics",
+    "receiver_grid",
+    "run_sweep",
+    "trial_id",
+    "trial_payload",
+]

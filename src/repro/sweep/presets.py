@@ -1,0 +1,85 @@
+"""Named sweeps for the CLI (``repro sweep <name>``).
+
+``receiver-grid`` is the canonical cache-topology showcase: eight
+receiver configurations over one capture, so the whole analog chain runs
+once and eight cheap decoder tails fan out.  The ``table2`` / ``table3``
+/ ``fig7`` presets are the paper harnesses' own sweeps (the experiment
+modules build them; imported lazily to keep ``repro.sweep`` free of an
+import cycle with ``repro.experiments``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..params import TINY
+from .spec import SweepSpec, profile_fields
+
+#: The eight acquisition variants of the receiver-only showcase grid.
+RECEIVER_GRID = [
+    {"acquisition": {"fft_size": 256, "hop": 24}},
+    {"acquisition": {"fft_size": 256, "hop": 32}},
+    {"acquisition": {"fft_size": 256, "hop": 48}},
+    {"acquisition": {"fft_size": 256, "hop": 64}},
+    {"acquisition": {"fft_size": 512, "hop": 48}},
+    {"acquisition": {"fft_size": 512, "hop": 64}},
+    {"acquisition": {"fft_size": 128, "hop": 16}},
+    {"acquisition": {"fft_size": 128, "hop": 32}},
+]
+
+
+def receiver_grid(seed: int = 0, quick: bool = True) -> SweepSpec:
+    return SweepSpec(
+        name="receiver-grid",
+        base={
+            "machine": "Dell Inspiron 15-3537",
+            "profile": profile_fields(TINY),
+            "seed": seed,
+            "bits": 120 if quick else 400,
+            "payload_seed": seed + 1234,
+        },
+        zips=[
+            {
+                "receiver": RECEIVER_GRID,
+                "label": [
+                    "M={fft_size} hop={hop}".format(**r["acquisition"])
+                    for r in RECEIVER_GRID
+                ],
+            }
+        ],
+    )
+
+
+def _table2(seed: int = 0, quick: bool = True) -> SweepSpec:
+    from ..experiments.table2_near_field import sweep_spec
+
+    return sweep_spec(TINY, quick, seed)
+
+
+def _table3(seed: int = 0, quick: bool = True) -> SweepSpec:
+    from ..experiments.table3_distance import sweep_spec
+
+    return sweep_spec(TINY, quick, seed)
+
+
+def _fig7(seed: int = 0, quick: bool = True) -> SweepSpec:
+    from ..experiments.fig7_threshold import sweep_spec
+
+    return sweep_spec(TINY, quick, seed)
+
+
+PRESETS: Dict[str, Callable[..., SweepSpec]] = {
+    "receiver-grid": receiver_grid,
+    "table2-tiny": _table2,
+    "table3-tiny": _table3,
+    "fig7-tiny": _fig7,
+}
+
+
+def get_preset(name: str, seed: int = 0, quick: bool = True) -> SweepSpec:
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise KeyError(f"unknown sweep preset {name!r}; known: {known}")
+    return factory(seed=seed, quick=quick)

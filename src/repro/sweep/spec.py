@@ -1,0 +1,326 @@
+"""Sweep descriptions: a parameter grid over covert-link trials.
+
+A :class:`TrialSpec` is one trial of a sweep, expressed as plain
+JSON-able data (names and dicts, not live objects), so a whole sweep can
+be written down, hashed, stored next to its results, and re-planned by a
+later process for resume.  :class:`SweepSpec` expands a base trial plus
+grid / zip / override axes into the ordered trial list the planner
+consumes.
+
+The split mirrors the chain's cache-key layers: everything in a trial
+that shapes the *digital* half (machine, profile, seed, payload, rate,
+framing flags) determines the activity trace and chain-entry RNG state,
+and therefore the whole analog prefix; the scenario picks the capture
+key; the receiver never touches the chain at all.  ``digital_prefix_id``
+names the first group, which is what lets the planner prepare each
+distinct digital prefix exactly once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..chain import paper_tuned_frequency_hz, tuned_frequency_hz
+from ..core.acquisition import AcquisitionConfig
+from ..core.decoder import DecoderConfig
+from ..core.edges import EdgeConfig
+from ..countermeasures import VrmDithering
+from ..covert.link import CovertLink
+from ..em.environment import (
+    Scenario,
+    distance_scenario,
+    near_field_scenario,
+    through_wall_scenario,
+)
+from ..exec.cache import fingerprint
+from ..params import SimProfile, get_profile
+from ..systems.laptops import Machine, by_name
+
+#: Bump when TrialSpec semantics change, so stored trial ids can never
+#: alias trials with different meanings.
+SWEEP_SCHEMA = "sweep-v1"
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One trial, as data.
+
+    ``scenario`` / ``dithering`` / ``receiver`` are dicts of constructor
+    arguments (see :func:`build_scenario`, :func:`build_dithering`,
+    :func:`build_decoder`); ``None`` means the library default.
+    ``profile`` is a stock profile name or a dict of
+    :class:`~repro.params.SimProfile` fields.
+
+    The payload is not stored: it is re-derived from ``payload_seed`` /
+    ``payload_index`` / ``bits`` exactly as the pre-sweep harnesses drew
+    it (``payload_index`` sequential draws into the seeded stream), so a
+    ported experiment reproduces its historical payloads bit-for-bit.
+    """
+
+    machine: str = "Dell Inspiron 15-3537"
+    profile: Union[str, Mapping[str, Any]] = "tiny"
+    seed: int = 0
+    bits: int = 100
+    payload_seed: int = 1234
+    payload_index: int = 0
+    rate_scale: float = 1.0
+    allow_c_states: bool = True
+    allow_p_states: bool = True
+    background: bool = False
+    use_ecc: bool = False
+    scenario: Optional[Mapping[str, Any]] = None
+    dithering: Optional[Mapping[str, Any]] = None
+    receiver: Optional[Mapping[str, Any]] = None
+    label: str = ""
+
+
+_TRIAL_FIELDS = tuple(f.name for f in dataclasses.fields(TrialSpec))
+
+#: The fields that determine the digital half of a run - the framed
+#: bits, the activity trace, and the RNG state at chain entry.  Trials
+#: agreeing on these share their whole analog key chain up to wherever
+#: the remaining fields (scenario, dithering, BIOS flags) split them.
+_DIGITAL_FIELDS = (
+    "machine",
+    "profile",
+    "seed",
+    "bits",
+    "payload_seed",
+    "payload_index",
+    "rate_scale",
+    "background",
+    "use_ecc",
+)
+
+
+def trial_id(trial: TrialSpec) -> str:
+    """Stable identity of a trial's *physics* (everything but the label).
+
+    The label is presentation only, so relabelling a sweep neither
+    invalidates stored results nor re-runs anything on resume.  Two
+    trials differing only in label are therefore the *same* trial; the
+    planner rejects such duplicates.
+    """
+    payload = dataclasses.asdict(trial)
+    payload.pop("label")
+    return fingerprint(SWEEP_SCHEMA, "trial", payload)
+
+
+def digital_prefix_id(trial: TrialSpec) -> str:
+    """Identity of the trial's digital prefix (see ``_DIGITAL_FIELDS``)."""
+    payload = {name: getattr(trial, name) for name in _DIGITAL_FIELDS}
+    return fingerprint(SWEEP_SCHEMA, "digital", payload)
+
+
+# ---------------------------------------------------------------------------
+# Builders: data -> live objects
+
+
+def resolve_profile(spec: Union[str, Mapping[str, Any], SimProfile]) -> SimProfile:
+    if isinstance(spec, SimProfile):
+        return spec
+    if isinstance(spec, str):
+        return get_profile(spec)
+    return SimProfile(**dict(spec))
+
+
+def profile_fields(profile: SimProfile) -> Dict[str, Any]:
+    """A profile as TrialSpec data (round-trips any custom profile)."""
+    return dataclasses.asdict(profile)
+
+
+def build_scenario(
+    spec: Optional[Mapping[str, Any]], machine: Machine, profile: SimProfile
+) -> Optional[Scenario]:
+    """A scenario dict -> live :class:`Scenario`, band-tuned for the
+    machine/profile exactly as the pre-sweep harnesses tuned it.
+
+    ``{"kind": "near_field" | "distance" | "through_wall", ...}`` with
+    the remaining keys passed to the matching builder.
+    """
+    if spec is None:
+        return None
+    spec = dict(spec)
+    kind = spec.pop("kind")
+    band = tuned_frequency_hz(machine, profile)
+    physics = paper_tuned_frequency_hz(machine)
+    if kind == "near_field":
+        return near_field_scenario(band, physics_frequency_hz=physics, **spec)
+    if kind == "distance":
+        return distance_scenario(
+            band_center_hz=band, physics_frequency_hz=physics, **spec
+        )
+    if kind == "through_wall":
+        return through_wall_scenario(band, physics_frequency_hz=physics, **spec)
+    raise ValueError(f"unknown scenario kind {kind!r}")
+
+
+def build_decoder(spec: Optional[Mapping[str, Any]]) -> DecoderConfig:
+    """A receiver dict -> :class:`DecoderConfig`.
+
+    Nested ``acquisition`` / ``edges`` dicts become their config
+    dataclasses; remaining keys (``batch_bits``, ``skip_fraction``,
+    ``auto_window``) pass through.
+    """
+    if spec is None:
+        return DecoderConfig()
+    spec = dict(spec)
+    kwargs: Dict[str, Any] = {}
+    acquisition = spec.pop("acquisition", None)
+    if acquisition is not None:
+        acq = dict(acquisition)
+        if "harmonics" in acq:
+            acq["harmonics"] = tuple(acq["harmonics"])
+        kwargs["acquisition"] = AcquisitionConfig(**acq)
+    edges = spec.pop("edges", None)
+    if edges is not None:
+        kwargs["edges"] = EdgeConfig(**dict(edges))
+    kwargs.update(spec)
+    return DecoderConfig(**kwargs)
+
+
+def build_dithering(spec: Optional[Mapping[str, Any]]) -> Optional[VrmDithering]:
+    if spec is None:
+        return None
+    return VrmDithering(**dict(spec))
+
+
+def build_link(trial: TrialSpec) -> CovertLink:
+    """Materialise the live link a trial describes."""
+    machine = by_name(trial.machine)
+    profile = resolve_profile(trial.profile)
+    return CovertLink(
+        machine=machine,
+        profile=profile,
+        seed=trial.seed,
+        scenario=build_scenario(trial.scenario, machine, profile),
+        decoder_config=build_decoder(trial.receiver),
+        allow_c_states=trial.allow_c_states,
+        allow_p_states=trial.allow_p_states,
+        background=trial.background,
+        use_ecc=trial.use_ecc,
+        rate_scale=trial.rate_scale,
+        vrm_dithering=build_dithering(trial.dithering),
+    )
+
+
+def trial_payload(trial: TrialSpec) -> np.ndarray:
+    """The trial's payload bits.
+
+    Draw ``payload_index + 1`` sequential payloads from the seeded
+    stream and keep the last - the exact consumption pattern of
+    :func:`repro.covert.evaluate.evaluate_link`, so ported multi-run
+    harnesses get their historical payloads back bit-for-bit.
+    """
+    rng = np.random.default_rng(trial.payload_seed)
+    payload = rng.integers(0, 2, size=trial.bits)
+    for _ in range(trial.payload_index):
+        payload = rng.integers(0, 2, size=trial.bits)
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# The grid
+
+
+def _check_fields(names, where: str) -> None:
+    for name in names:
+        if name not in _TRIAL_FIELDS:
+            known = ", ".join(_TRIAL_FIELDS)
+            raise ValueError(
+                f"unknown trial field {name!r} in {where}; known: {known}"
+            )
+
+
+@dataclass
+class SweepSpec:
+    """A parameter grid over :class:`TrialSpec` fields.
+
+    * ``base`` - fields shared by every trial.
+    * ``grid`` - ``{field: [values...]}``; axes combine as a cross
+      product, in insertion order (first axis varies slowest).
+    * ``zips`` - a list of zip blocks, each ``{field: [values...]}``
+      with equal-length lists advancing in lockstep (e.g. a seed that
+      tracks a payload index).  Each block is one more product axis,
+      appended after the grid axes - so a trailing runs block is the
+      fastest-varying axis and per-configuration runs stay contiguous.
+    * ``overrides`` - ``[{"where": {field: value}, "set": {field:
+      value}}...]`` patches applied to every expanded trial whose fields
+      match ``where`` (an override without ``where`` matches all).
+
+    ``trials()`` expands deterministically; the same spec always yields
+    the same trials in the same order.
+    """
+
+    name: str = "sweep"
+    base: Dict[str, Any] = field(default_factory=dict)
+    grid: Dict[str, Sequence[Any]] = field(default_factory=dict)
+    zips: Sequence[Mapping[str, Sequence[Any]]] = field(default_factory=list)
+    overrides: Sequence[Mapping[str, Any]] = field(default_factory=list)
+
+    def trials(self) -> List[TrialSpec]:
+        _check_fields(self.base, "base")
+        axes: List[List[Dict[str, Any]]] = []
+        for name, values in self.grid.items():
+            _check_fields([name], "grid")
+            values = list(values)
+            if not values:
+                raise ValueError(f"grid axis {name!r} has no values")
+            axes.append([{name: value} for value in values])
+        for block in self.zips:
+            if not block:
+                continue
+            _check_fields(block, "zip")
+            lengths = {len(list(values)) for values in block.values()}
+            if len(lengths) != 1:
+                raise ValueError(
+                    f"zip block fields must share a length, got {sorted(block)}"
+                )
+            n = lengths.pop()
+            axes.append(
+                [{name: list(block[name])[i] for name in block} for i in range(n)]
+            )
+        trials: List[TrialSpec] = []
+        for combo in itertools.product(*axes):
+            fields_ = dict(self.base)
+            for patch in combo:
+                fields_.update(patch)
+            trial = TrialSpec(**fields_)
+            for override in self.overrides:
+                where = dict(override.get("where", {}))
+                patch = dict(override.get("set", {}))
+                _check_fields(where, "override where")
+                _check_fields(patch, "override set")
+                if all(getattr(trial, k) == v for k, v in where.items()):
+                    trial = dataclasses.replace(trial, **patch)
+            trials.append(trial)
+        return trials
+
+    # -- JSON round trip ---------------------------------------------------
+
+    def to_mapping(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "base": dict(self.base),
+            "grid": {k: list(v) for k, v in self.grid.items()},
+            "zip": [dict(block) for block in self.zips],
+            "overrides": [dict(o) for o in self.overrides],
+        }
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        zips = data.get("zip", data.get("zips", []))
+        if isinstance(zips, Mapping):
+            zips = [zips]
+        return cls(
+            name=data.get("name", "sweep"),
+            base=dict(data.get("base", {})),
+            grid={k: list(v) for k, v in data.get("grid", {}).items()},
+            zips=[dict(block) for block in zips],
+            overrides=[dict(o) for o in data.get("overrides", [])],
+        )

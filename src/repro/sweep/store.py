@@ -1,0 +1,76 @@
+"""Incremental JSONL result store with resume.
+
+One JSON object per line, appended and flushed per trial, so a killed
+sweep loses at most the line being written.  ``load`` skips torn or
+foreign lines instead of failing - that *is* the resume-after-kill path:
+the re-planned sweep simply re-runs whichever trials have no intact
+record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+#: Bump when the record layout changes; stale records are ignored on
+#: load (and therefore re-run), never misread.
+STORE_SCHEMA = "sweep-result-v1"
+
+
+class ResultStore:
+    """Append-only per-trial records, keyed by trial id.
+
+    With ``path=None`` the store is memory-only (no resume), which lets
+    the engine use one code path either way.
+    """
+
+    def __init__(self, path: Optional[os.PathLike] = None):
+        self.path = Path(path) if path is not None else None
+        self._records: Dict[str, dict] = {}
+
+    def load(self) -> Dict[str, dict]:
+        """Read every intact record from disk; returns id -> record."""
+        self._records = {}
+        if self.path is None or not self.path.exists():
+            return {}
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail from a killed run
+                if (
+                    not isinstance(record, dict)
+                    or record.get("schema") != STORE_SCHEMA
+                    or "trial_id" not in record
+                ):
+                    continue
+                self._records[record["trial_id"]] = record
+        return dict(self._records)
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Record one finished trial (flushed immediately when on disk)."""
+        self._records[record["trial_id"]] = record
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            fh.flush()
+
+    def get(self, trial_id: str) -> Optional[dict]:
+        return self._records.get(trial_id)
+
+    def __contains__(self, trial_id: str) -> bool:
+        return trial_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self._records.values())

@@ -89,13 +89,27 @@ class EmissionModel:
         base = np.floor(positions).astype(np.int64)
         frac = positions - base
         interior = (base >= 0) & (base < n_samples - 1)
-        np.add.at(wave, base[interior], weights[interior] * (1.0 - frac[interior]))
-        np.add.at(wave, base[interior] + 1, weights[interior] * frac[interior])
         # A burst landing on the final sample has no right-hand neighbour
         # for its fractional weight; deposit its full weight there rather
         # than dropping it.
         last = base == n_samples - 1
-        np.add.at(wave, base[last], weights[last])
+        # One bincount pass over (left, right, final-sample) deposits in
+        # that order: np.add.at is notoriously slow on large scatter
+        # sets, and bincount performs the identical in-order per-bin
+        # accumulation (so the float sums are bit-identical) in one
+        # C-level sweep.
+        indices = np.concatenate(
+            (base[interior], base[interior] + 1, base[last])
+        )
+        deposits = np.concatenate(
+            (
+                weights[interior] * (1.0 - frac[interior]),
+                weights[interior] * frac[interior],
+                weights[last],
+            )
+        )
+        if indices.size:
+            wave = np.bincount(indices, weights=deposits, minlength=wave.size)
         kernel = self.pulse_kernel(sample_rate, bursts.switching_period)
         if kernel.size > 1:
             wave = fftconvolve(wave, kernel)[: wave.size]

@@ -1,0 +1,165 @@
+"""Stampede control: per-key locks, probe/reprobe, and the chain path."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.chain import _compute_through_lock
+from repro.exec.cache import ChainCache
+from repro.obs.trace import collect_events
+
+
+@pytest.fixture
+def shared_dir(tmp_path):
+    return tmp_path / "cache"
+
+
+class TestProbe:
+    def test_probe_reports_layer_without_counting(self, shared_dir):
+        cache = ChainCache(max_bytes=2**20, disk_dir=shared_dir)
+        assert cache.probe("k" * 64) is None
+        cache.put("k" * 64, 123)
+        assert cache.probe("k" * 64) == "memory"
+        other = ChainCache(max_bytes=2**20, disk_dir=shared_dir)
+        assert other.probe("k" * 64) == "disk"
+        assert other.stats()["hits"] == 0
+        assert other.stats()["misses"] == 0
+
+    def test_probe_memory_only_cache(self):
+        cache = ChainCache(max_bytes=2**20)
+        cache.put("k" * 64, 1)
+        assert cache.probe("k" * 64) == "memory"
+        assert cache.probe("x" * 64) is None
+
+
+class TestLock:
+    def test_lock_yields_false_without_disk_layer(self):
+        cache = ChainCache(max_bytes=2**20)
+        with cache.lock("k" * 64) as locked:
+            assert locked is False
+
+    def test_lock_yields_true_with_disk_layer(self, shared_dir):
+        cache = ChainCache(max_bytes=2**20, disk_dir=shared_dir)
+        with cache.lock("k" * 64) as locked:
+            assert locked is True
+
+    def test_lock_excludes_other_cache_instances(self, shared_dir):
+        # Two instances sharing the disk dir model two pool workers.
+        a = ChainCache(max_bytes=2**20, disk_dir=shared_dir)
+        b = ChainCache(max_bytes=2**20, disk_dir=shared_dir)
+        key = "k" * 64
+        entered = threading.Event()
+        order = []
+
+        def contender():
+            entered.set()
+            with b.lock(key) as locked:
+                assert locked
+                order.append("b")
+
+        with a.lock(key) as locked:
+            assert locked
+            thread = threading.Thread(target=contender)
+            thread.start()
+            entered.wait(timeout=5.0)
+            time.sleep(0.05)  # give the contender time to block
+            order.append("a")
+        thread.join(timeout=5.0)
+        assert order == ["a", "b"]
+
+    def test_distinct_keys_do_not_contend(self, shared_dir):
+        a = ChainCache(max_bytes=2**20, disk_dir=shared_dir)
+        b = ChainCache(max_bytes=2**20, disk_dir=shared_dir)
+        with a.lock("k" * 64):
+            done = threading.Event()
+
+            def other():
+                with b.lock("j" * 64):
+                    done.set()
+
+            thread = threading.Thread(target=other)
+            thread.start()
+            assert done.wait(timeout=5.0)
+            thread.join(timeout=5.0)
+
+
+class TestReprobe:
+    def test_reprobe_serves_published_value(self, shared_dir):
+        a = ChainCache(max_bytes=2**20, disk_dir=shared_dir)
+        b = ChainCache(max_bytes=2**20, disk_dir=shared_dir)
+        key = "k" * 64
+        assert b.get(key) is None  # the losing worker's initial miss
+        a.put(key, ("value", 42))  # winner publishes meanwhile
+        hit = b.reprobe(key)
+        assert hit == ("value", 42)
+        assert b.stats()["hits"] == 1
+
+    def test_reprobe_miss_returns_none(self, shared_dir):
+        cache = ChainCache(max_bytes=2**20, disk_dir=shared_dir)
+        assert cache.reprobe("k" * 64) is None
+
+
+class TestComputeThroughLock:
+    """The deterministic two-worker stampede scenario, single-process:
+    worker B misses, worker A publishes, B then enters the lock."""
+
+    def test_loser_is_served_and_does_not_compute(self, shared_dir):
+        a = ChainCache(max_bytes=2**20, disk_dir=shared_dir)
+        b = ChainCache(max_bytes=2**20, disk_dir=shared_dir)
+        key = "k" * 64
+        assert b.get(key) is None  # B's miss, before A publishes
+        winner_rng = np.random.default_rng(7)
+        winner_value = winner_rng.normal(size=4)
+        winner_rng.random()  # the compute advances the RNG
+        a.put(key, (winner_value, winner_rng.bit_generator.state))
+
+        loser_rng = np.random.default_rng(7)
+
+        def compute():
+            raise AssertionError("loser must not recompute a published key")
+
+        with collect_events() as events:
+            value = _compute_through_lock(b, key, "vrm", loser_rng, compute)
+        assert np.array_equal(value, winner_value)
+        # RNG restored to the winner's exit state.
+        assert (
+            loser_rng.bit_generator.state["state"]
+            == winner_rng.bit_generator.state["state"]
+        )
+        avoided = [e for e in events if e["event"] == "cache.stampede_avoided"]
+        assert len(avoided) == 1
+        assert avoided[0]["stage"] == "vrm"
+        assert avoided[0]["key"] == key[:12]
+
+    def test_winner_computes_and_publishes(self, shared_dir):
+        cache = ChainCache(max_bytes=2**20, disk_dir=shared_dir)
+        key = "k" * 64
+        rng = np.random.default_rng(1)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            rng.random()
+            return "computed"
+
+        with collect_events() as events:
+            value = _compute_through_lock(cache, key, "pmu", rng, compute)
+        assert value == "computed"
+        assert calls == [1]
+        assert not [
+            e for e in events if e["event"] == "cache.stampede_avoided"
+        ]
+        # Published for the next worker, with the exit RNG state.
+        other = ChainCache(max_bytes=2**20, disk_dir=shared_dir)
+        stored_value, stored_state = other.get(key)
+        assert stored_value == "computed"
+        assert stored_state["state"] == rng.bit_generator.state["state"]
+
+    def test_memory_only_cache_still_computes_once(self):
+        cache = ChainCache(max_bytes=2**20)
+        rng = np.random.default_rng(1)
+        value = _compute_through_lock(cache, "k" * 64, "pmu", rng, lambda: 5)
+        assert value == 5
+        assert cache.get("k" * 64) == (5, rng.bit_generator.state)

@@ -1,0 +1,152 @@
+"""The key-DAG planner: node folding, warm marking, and laziness."""
+
+import pytest
+
+from repro.sweep.plan import STAGE_ORDER, WARMABLE, plan_sweep
+from repro.sweep.spec import SweepSpec, TrialSpec
+from repro.obs.trace import collect_events
+
+ANALOG_SPANS = {"pmu", "vrm", "emission", "propagation", "sdr"}
+
+
+def nodes_by_stage(plan):
+    out = {}
+    for node in plan.nodes:
+        out.setdefault(node.stage, []).append(node)
+    return out
+
+
+class TestReceiverOnlySweep:
+    """Receiver variants share the *entire* chain: one node per stage,
+    with the capture node fanning out into every trial."""
+
+    @pytest.fixture(scope="class")
+    def plan(self):
+        spec = SweepSpec(
+            base={"bits": 24},
+            zips=[
+                {
+                    "receiver": [
+                        None,
+                        {"acquisition": {"fft_size": 256, "hop": 16}},
+                        {"acquisition": {"fft_size": 512, "hop": 32}},
+                    ]
+                }
+            ],
+        )
+        return plan_sweep(spec)
+
+    def test_single_node_per_stage(self, plan):
+        stages = nodes_by_stage(plan)
+        assert set(stages) == {"pmu", "vrm", "emission", "capture"}
+        assert all(len(nodes) == 1 for nodes in stages.values())
+
+    def test_capture_fans_out_into_all_trials(self, plan):
+        (capture,) = nodes_by_stage(plan)["capture"]
+        assert capture.shared
+        assert len(capture.children) == 3
+        assert set(capture.children) == {tp.trial_id for tp in plan.trials}
+        assert len(capture.trial_ids) == 3
+
+    def test_only_capture_is_warmed(self, plan):
+        warm = plan.warm_nodes()
+        assert [n.stage for n in warm] == ["capture"]
+        # pmu/vrm/emission each have exactly one child -> inline.
+        for node in plan.nodes:
+            if node.stage != "capture":
+                assert not node.shared
+
+    def test_accounting(self, plan):
+        assert plan.n_trials == 3
+        assert plan.naive_stage_runs == 12  # 3 trials x 4 stages
+        assert plan.planned_stage_runs == 4
+        assert plan.stages_saved == 8
+        assert plan.sharing_factor == pytest.approx(3.0)
+
+    def test_nodes_in_chain_order(self, plan):
+        order = [STAGE_ORDER.index(n.stage) for n in plan.nodes]
+        assert order == sorted(order)
+
+
+class TestScenarioSweep:
+    def test_scenarios_split_at_capture(self):
+        spec = SweepSpec(
+            base={"bits": 24},
+            zips=[
+                {
+                    "scenario": [
+                        None,
+                        {"kind": "distance", "distance_m": 1.0},
+                    ]
+                }
+            ],
+        )
+        plan = plan_sweep(spec)
+        stages = nodes_by_stage(plan)
+        assert len(stages["emission"]) == 1
+        assert len(stages["capture"]) == 2
+        (emission,) = stages["emission"]
+        assert emission.shared and len(emission.children) == 2
+        assert [n.stage for n in plan.warm_nodes()] == ["emission"]
+        for capture in stages["capture"]:
+            assert not capture.shared
+
+
+class TestDitheringSweep:
+    def test_dithering_splits_at_vrm(self):
+        spec = SweepSpec(
+            base={"bits": 24},
+            zips=[{"dithering": [None, {"spread_rel": 0.05}]}],
+        )
+        plan = plan_sweep(spec)
+        stages = nodes_by_stage(plan)
+        (vrm,) = stages["vrm"]
+        # One child is the dithered trial's dither key, the other the
+        # undithered trial's emission key.
+        assert vrm.shared and len(vrm.children) == 2
+        assert len(stages["dither"]) == 1  # only the dithered trial
+        assert len(stages["emission"]) == 2
+        assert [n.stage for n in plan.warm_nodes()] == ["vrm"]
+
+
+class TestPlannerGuards:
+    def test_duplicate_physics_raises_despite_labels(self):
+        trials = [
+            TrialSpec(bits=24, label="first"),
+            TrialSpec(bits=24, label="second"),
+        ]
+        with pytest.raises(ValueError, match="duplicate trials"):
+            plan_sweep(trials)
+
+    def test_planning_does_not_run_the_analog_chain(self):
+        spec = SweepSpec(
+            base={"bits": 24},
+            zips=[{"seed": [1, 2], "payload_index": [0, 1]}],
+        )
+        with collect_events() as events:
+            plan = plan_sweep(spec)
+        assert plan.n_trials == 2
+        analog = [
+            e
+            for e in events
+            if e.get("event") == "span" and e.get("name") in ANALOG_SPANS
+        ]
+        assert analog == []
+        # But the plan itself is traced.
+        assert any(
+            e.get("event") == "span" and e.get("name") == "sweep.plan"
+            for e in events
+        )
+
+    def test_seed_sweep_shares_nothing(self):
+        spec = SweepSpec(
+            base={"bits": 24},
+            zips=[{"seed": [1, 2], "payload_index": [0, 1]}],
+        )
+        plan = plan_sweep(spec)
+        assert plan.stages_saved == 0
+        assert plan.sharing_factor == pytest.approx(1.0)
+        assert plan.warm_nodes() == []
+
+    def test_warmable_subset_of_stage_order(self):
+        assert set(WARMABLE) <= set(STAGE_ORDER)

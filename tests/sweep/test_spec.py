@@ -1,0 +1,161 @@
+"""SweepSpec expansion, trial identity, and the data->object builders."""
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import DecoderConfig
+from repro.params import TINY
+from repro.sweep.spec import (
+    SweepSpec,
+    TrialSpec,
+    build_decoder,
+    build_link,
+    digital_prefix_id,
+    profile_fields,
+    resolve_profile,
+    trial_id,
+    trial_payload,
+)
+
+
+class TestExpansion:
+    def test_grid_cross_product_first_axis_slowest(self):
+        spec = SweepSpec(
+            grid={"seed": [1, 2], "bits": [30, 40, 50]},
+        )
+        trials = spec.trials()
+        assert [(t.seed, t.bits) for t in trials] == [
+            (1, 30), (1, 40), (1, 50), (2, 30), (2, 40), (2, 50),
+        ]
+
+    def test_zip_advances_in_lockstep_after_grid(self):
+        spec = SweepSpec(
+            grid={"bits": [30, 40]},
+            zips=[{"seed": [10, 20], "payload_index": [0, 1]}],
+        )
+        trials = spec.trials()
+        # zip is the fastest axis: runs stay contiguous per bits value.
+        assert [(t.bits, t.seed, t.payload_index) for t in trials] == [
+            (30, 10, 0), (30, 20, 1), (40, 10, 0), (40, 20, 1),
+        ]
+
+    def test_zip_length_mismatch_raises(self):
+        spec = SweepSpec(zips=[{"seed": [1, 2], "payload_index": [0]}])
+        with pytest.raises(ValueError, match="share a length"):
+            spec.trials()
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(ValueError, match="unknown trial field"):
+            SweepSpec(base={"nope": 1}).trials()
+        with pytest.raises(ValueError, match="unknown trial field"):
+            SweepSpec(grid={"frobnicate": [1]}).trials()
+
+    def test_empty_grid_axis_raises(self):
+        with pytest.raises(ValueError, match="has no values"):
+            SweepSpec(grid={"seed": []}).trials()
+
+    def test_base_only_yields_one_trial(self):
+        trials = SweepSpec(base={"seed": 9}).trials()
+        assert len(trials) == 1
+        assert trials[0].seed == 9
+
+    def test_overrides_patch_matching_trials(self):
+        spec = SweepSpec(
+            grid={"seed": [1, 2]},
+            overrides=[{"where": {"seed": 2}, "set": {"rate_scale": 0.5}}],
+        )
+        trials = spec.trials()
+        assert trials[0].rate_scale == 1.0
+        assert trials[1].rate_scale == 0.5
+
+    def test_override_without_where_matches_all(self):
+        spec = SweepSpec(
+            grid={"seed": [1, 2]},
+            overrides=[{"set": {"bits": 64}}],
+        )
+        assert [t.bits for t in spec.trials()] == [64, 64]
+
+    def test_mapping_round_trip(self):
+        spec = SweepSpec(
+            name="rt",
+            base={"machine": "Inspiron"},
+            grid={"seed": [1, 2]},
+            zips=[{"bits": [30, 40], "payload_index": [0, 1]}],
+            overrides=[{"where": {"seed": 2}, "set": {"rate_scale": 0.5}}],
+        )
+        clone = SweepSpec.from_mapping(spec.to_mapping())
+        assert clone.trials() == spec.trials()
+        assert clone.name == "rt"
+
+
+class TestIdentity:
+    def test_label_does_not_change_trial_id(self):
+        a = TrialSpec(seed=1, label="x")
+        b = TrialSpec(seed=1, label="y")
+        assert trial_id(a) == trial_id(b)
+
+    def test_physics_fields_change_trial_id(self):
+        base = TrialSpec(seed=1)
+        assert trial_id(base) != trial_id(TrialSpec(seed=2))
+        assert trial_id(base) != trial_id(
+            TrialSpec(seed=1, receiver={"batch_bits": 32})
+        )
+        assert trial_id(base) != trial_id(
+            TrialSpec(seed=1, scenario={"kind": "distance", "distance_m": 1.0})
+        )
+
+    def test_digital_prefix_ignores_receiver_and_scenario(self):
+        a = TrialSpec(seed=1)
+        b = TrialSpec(
+            seed=1,
+            receiver={"batch_bits": 32},
+            scenario={"kind": "distance", "distance_m": 1.0},
+            dithering={"spread_rel": 0.05},
+        )
+        assert digital_prefix_id(a) == digital_prefix_id(b)
+        assert digital_prefix_id(a) != digital_prefix_id(TrialSpec(seed=2))
+
+
+class TestBuilders:
+    def test_resolve_profile_name_and_fields(self):
+        assert resolve_profile("tiny") == TINY
+        assert resolve_profile(profile_fields(TINY)) == TINY
+
+    def test_build_decoder_default_and_nested(self):
+        assert build_decoder(None) == DecoderConfig()
+        config = build_decoder(
+            {"acquisition": {"fft_size": 512, "hop": 64}, "batch_bits": 32}
+        )
+        assert config.acquisition.fft_size == 512
+        assert config.acquisition.hop == 64
+        assert config.batch_bits == 32
+
+    def test_build_link_materialises_trial(self):
+        trial = TrialSpec(
+            machine="Inspiron",
+            profile="tiny",
+            seed=3,
+            rate_scale=0.5,
+            scenario={"kind": "through_wall", "distance_m": 1.5},
+        )
+        link = build_link(trial)
+        assert "Inspiron" in link.machine.name
+        assert link.profile == TINY
+        assert link.seed == 3
+        assert link.rate_scale == 0.5
+        assert link.scenario.wall is not None
+
+    def test_unknown_scenario_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown scenario kind"):
+            build_link(TrialSpec(scenario={"kind": "submarine"}))
+
+    def test_trial_payload_matches_evaluate_link_derivation(self):
+        # evaluate_link draws payload i as the (i+1)-th sequential draw
+        # from the seeded stream; trial_payload must reproduce that.
+        rng = np.random.default_rng(1234)
+        draws = [rng.integers(0, 2, size=40) for _ in range(3)]
+        for i, want in enumerate(draws):
+            got = trial_payload(
+                TrialSpec(bits=40, payload_seed=1234, payload_index=i)
+            )
+            assert np.array_equal(got, want)

@@ -1,0 +1,74 @@
+"""The JSONL result store: round trip, torn tails, foreign lines."""
+
+import json
+
+from repro.sweep.store import STORE_SCHEMA, ResultStore
+
+
+def record(tid, **extra):
+    return {"schema": STORE_SCHEMA, "trial_id": tid, **extra}
+
+
+class TestRoundTrip:
+    def test_append_then_load(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.append(record("a", ber=0.1))
+        store.append(record("b", ber=0.2))
+        assert len(store) == 2
+
+        fresh = ResultStore(path)
+        loaded = fresh.load()
+        assert set(loaded) == {"a", "b"}
+        assert fresh.get("a")["ber"] == 0.1
+        assert "b" in fresh
+        assert sorted(r["trial_id"] for r in fresh) == ["a", "b"]
+
+    def test_memory_only_store(self):
+        store = ResultStore(None)
+        store.append(record("a"))
+        assert "a" in store
+        assert store.load() == {}  # nothing persisted
+
+    def test_last_record_wins(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.append(record("a", ber=0.5))
+        store.append(record("a", ber=0.1))
+        fresh = ResultStore(path)
+        fresh.load()
+        assert len(fresh) == 1
+        assert fresh.get("a")["ber"] == 0.1
+
+
+class TestRobustLoad:
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.append(record("a"))
+        store.append(record("b"))
+        # Simulate a kill mid-write: truncate the last line.
+        text = path.read_text()
+        path.write_text(text[: len(text) - 12])
+        fresh = ResultStore(path)
+        loaded = fresh.load()
+        assert set(loaded) == {"a"}
+
+    def test_foreign_and_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        lines = [
+            "",
+            json.dumps({"schema": "other-v9", "trial_id": "x"}),
+            json.dumps({"trial_id": "y"}),  # no schema
+            json.dumps({"schema": STORE_SCHEMA}),  # no trial id
+            json.dumps(["not", "a", "dict"]),
+            json.dumps(record("good")),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        store = ResultStore(path)
+        assert set(store.load()) == {"good"}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "absent.jsonl")
+        assert store.load() == {}
+        assert len(store) == 0
