@@ -1,9 +1,35 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-parallel bench-sweep smoke-parallel smoke-stream smoke-sweep regress regress-record
+.PHONY: test lint lint-baseline bench bench-parallel bench-sweep smoke-parallel smoke-stream smoke-sweep regress regress-record
 
 test:
 	$(PY) -m pytest -x -q
+
+# Static-analysis gate, three layers:
+#   1. repro.lint  - repo-specific determinism & cache-coherence rules
+#                    (DET/CACHE/CONC/TRACE/FLOAT, see DESIGN.md section 13)
+#   2. ruff        - general pyflakes/pycodestyle errors + format check
+#   3. mypy        - types, strict on repro.exec / repro.sweep
+# ruff and mypy are optional locally (install with `pip install -e
+# '.[lint]'`); CI always runs all three.
+lint:
+	$(PY) -m repro lint
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks && \
+		ruff format --check src/repro/lint tests/lint; \
+	else \
+		echo "ruff not installed; skipping (pip install -e '.[lint]')"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; skipping (pip install -e '.[lint]')"; \
+	fi
+
+# Accept the current repro.lint findings as the new baseline
+# (reviewable diff in src/repro/lint/baseline.json).
+lint-baseline:
+	$(PY) -m repro lint --write-baseline
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -13,7 +13,6 @@ decoded stream of a near-field link:
 """
 
 import numpy as np
-import pytest
 
 from repro.core.align import align_bits
 from repro.core.coding import hamming_decode, hamming_encode

@@ -9,7 +9,6 @@ a bit.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.acquisition import AcquisitionConfig
 from repro.core.decoder import DecoderConfig

@@ -7,9 +7,7 @@ batch timing recovery is necessary.
 """
 
 import numpy as np
-import pytest
 
-from repro.core.align import align_bits
 from repro.core.matched_filter import matched_filter_decode
 from repro.covert.link import CovertLink
 from repro.params import TINY

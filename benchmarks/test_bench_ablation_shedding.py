@@ -14,7 +14,6 @@ the line depth.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.acquisition import AcquisitionConfig, acquire
 from repro.em.environment import near_field_scenario

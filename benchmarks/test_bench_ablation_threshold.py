@@ -7,7 +7,6 @@ naive fixed threshold (the stream's mean power), which is biased by the
 """
 
 import numpy as np
-import pytest
 
 from repro.core.align import align_bits
 from repro.core.labeling import label_bits

@@ -26,6 +26,11 @@ Subcommands
     plan and stops), compute each shared analog prefix exactly once,
     and fan the per-trial tails over the process pool, with resumable
     JSONL results.  ``sweep list`` shows the named presets.
+``lint``
+    Static determinism & cache-coherence analysis (``repro.lint``):
+    seed provenance, wall-clock containment, cache-schema drift, raw
+    store writes, span discipline, float equality.  Non-zero exit on
+    any unsuppressed, unbaselined finding; part of ``make lint``.
 """
 
 from __future__ import annotations
@@ -189,6 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write sweep.plan/sweep.group/stage/cache events as JSONL",
     )
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="determinism & cache-coherence static analysis",
+    )
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint_p)
 
     send_p = sub.add_parser("send", help="covert-channel demo")
     send_p.add_argument("text", help="ASCII text to exfiltrate")
@@ -621,6 +634,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_regress(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "lint":
+        from .lint.cli import cmd_lint
+
+        return cmd_lint(args)
     if args.command == "send":
         return _cmd_send(args)
     if args.command == "keylog":

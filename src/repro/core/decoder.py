@@ -29,7 +29,6 @@ from .acquisition import AcquisitionConfig, Envelope, acquire
 from .edges import EdgeConfig, coarse_symbol_frames, detect_bit_starts
 from .labeling import bit_average_powers
 from .timing import (
-    analyze_pulse_widths,
     drop_spurious_starts,
     fill_missing_starts,
     signaling_time,

@@ -56,7 +56,7 @@ CHAIN_SCHEMA = "chain-v1"
 # Stable fingerprinting
 
 
-def _update(h, obj: Any) -> None:
+def _update(h: hashlib._Hash, obj: Any) -> None:
     """Feed a canonical encoding of ``obj`` into hash ``h``.
 
     Handles the types that appear in chain-stage keys: primitives,
@@ -134,7 +134,7 @@ class ChainCache:
 
     def __init__(
         self, max_bytes: int, disk_dir: Optional[os.PathLike] = None
-    ):
+    ) -> None:
         self.max_bytes = int(max_bytes)
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self._entries: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()

@@ -12,7 +12,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, replace
-from typing import Iterator, Optional
+from typing import Any, Iterator, Optional
 
 #: Default in-memory cache budget (bytes).  Emission waveforms in the
 #: stock profiles are a few MB each, so this holds dozens of trials.
@@ -71,10 +71,10 @@ def set_execution_config(config: ExecutionConfig) -> None:
 @contextmanager
 def execution_scope(
     *,
-    jobs=_UNSET,
-    cache_enabled=_UNSET,
-    cache_dir=_UNSET,
-    cache_bytes=_UNSET,
+    jobs: Any = _UNSET,
+    cache_enabled: Any = _UNSET,
+    cache_dir: Any = _UNSET,
+    cache_bytes: Any = _UNSET,
 ) -> Iterator[ExecutionConfig]:
     """Temporarily override parts of the execution configuration.
 

@@ -14,7 +14,7 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import ExitStack
 from dataclasses import replace
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..obs.metrics import get_metrics, metrics_active, metrics_scope
 from ..obs.trace import (
@@ -24,7 +24,11 @@ from ..obs.trace import (
     trace_event,
     tracing_active,
 )
-from .context import get_execution_config, set_execution_config
+from .context import (
+    ExecutionConfig,
+    get_execution_config,
+    set_execution_config,
+)
 from .timing import collect_timings, merge_timings
 
 T = TypeVar("T")
@@ -40,7 +44,7 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
-def _init_worker(config) -> None:
+def _init_worker(config: ExecutionConfig) -> None:
     # Workers run their trials serially: a worker spawning its own pool
     # would oversubscribe and can deadlock on nested executors.
     set_execution_config(replace(config, jobs=1))
@@ -48,7 +52,7 @@ def _init_worker(config) -> None:
 
 def _worker_call(
     fn: Callable[[T], R], item: T, want_trace: bool, want_metrics: bool
-):
+) -> Tuple[R, dict, List[dict], Optional[dict]]:
     # ContextVars don't cross the process boundary, so the parent tells
     # each task whether to buffer events/metrics for merging on return.
     events: List[dict] = []

@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..exec.timing import format_timings
-from ..params import SimProfile
 
 
 @dataclass

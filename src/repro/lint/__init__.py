@@ -1,0 +1,50 @@
+"""repro.lint - determinism & cache-coherence static analysis.
+
+AST-level checks for the contracts the rest of the repository relies on
+but (until now) enforced only by convention:
+
+=========  ============================================================
+DET001     all randomness flows from trial-seeded Generators
+DET002     wall-clock reads stay inside the explicit allowlist
+CACHE001   chain inputs reach fingerprint(); fingerprinted dataclass
+           changes bump CHAIN_SCHEMA and refresh the manifest
+CONC001    cache/scratch/result-store writes use the locked helpers
+TRACE001   spans use span() with registered names
+FLOAT001   no exact float equality in dsp/ and vrm/
+=========  ============================================================
+
+Run with ``python -m repro lint`` (or ``make lint``).  Per-line
+suppression: ``# lint: disable=CODE[,CODE]``.  Accepted findings live
+in ``repro/lint/baseline.json``; the CACHE001 shape manifest in
+``repro/lint/chain_schema.json`` (refresh with ``--update-schema``).
+"""
+
+from __future__ import annotations
+
+from .baseline import load_baseline, write_baseline
+from .config import DEFAULT_CONFIG, LintConfig
+from .engine import (
+    LintReport,
+    load_project,
+    rule_catalog,
+    run_lint,
+    write_schema_manifest,
+)
+from .findings import Finding, finding_fingerprint
+from .rules import all_rules, rules_by_code
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "all_rules",
+    "finding_fingerprint",
+    "load_baseline",
+    "load_project",
+    "rule_catalog",
+    "rules_by_code",
+    "run_lint",
+    "write_baseline",
+    "write_schema_manifest",
+]

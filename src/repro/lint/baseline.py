@@ -1,0 +1,60 @@
+"""Committed lint baseline: accepted findings by content fingerprint.
+
+The baseline lets the gate start green on a tree with known, reviewed
+findings and then *ratchet*: new findings fail, accepted ones are
+reported as ``baselined``.  Entries are content fingerprints (rule +
+path + stripped line text - see :mod:`repro.lint.findings`), so they
+survive unrelated line-number churn but expire the moment the
+offending line is edited.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set
+
+from .findings import Finding
+
+BASELINE_SCHEMA = "repro-lint-baseline-v1"
+
+
+def load_baseline(path) -> Set[str]:
+    """Accepted fingerprints; empty set when no baseline exists."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return set()
+    if payload.get("schema") != BASELINE_SCHEMA:
+        return set()
+    return {
+        entry["fingerprint"]
+        for entry in payload.get("entries", [])
+        if isinstance(entry, dict) and "fingerprint" in entry
+    }
+
+
+def write_baseline(path, findings: Iterable[Finding]) -> Path:
+    """Record ``findings`` (normally the active ones) as accepted."""
+    entries: List[dict] = []
+    seen: Set[str] = set()
+    for finding in sorted(findings, key=lambda f: f.sort_key()):
+        if finding.fingerprint in seen:
+            continue
+        seen.add(finding.fingerprint)
+        entries.append(
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+            }
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"schema": BASELINE_SCHEMA, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

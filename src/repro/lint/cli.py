@@ -1,0 +1,134 @@
+"""``repro lint`` subcommand implementation.
+
+Exit codes: 0 clean (all findings suppressed/baselined), 1 active
+findings or parse errors, 0 after ``--write-baseline`` /
+``--update-schema`` (they are maintenance actions, not gates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import Optional
+
+from .baseline import write_baseline
+from .config import DEFAULT_CONFIG, LintConfig
+from .engine import rule_catalog, run_lint, write_schema_manifest
+
+
+def default_root() -> Path:
+    """Directory containing the ``repro`` package (``src/`` here)."""
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="restrict per-file rules to these root-relative prefixes "
+        "(e.g. repro/dsp); project rules always see the whole tree",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="directory containing the repro package "
+        "(default: auto-detected from the installed package)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="CODE",
+        help="run only these rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "jsonl"),
+        default="text",
+        help="stdout format (default: text)",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="also write every finding as JSONL to FILE",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline file (default: repro/lint/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline (report everything as active)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current active findings into the baseline",
+    )
+    parser.add_argument(
+        "--update-schema",
+        action="store_true",
+        help="regenerate the CACHE001 chain-schema manifest after an "
+        "intentional, CHAIN_SCHEMA-bumped dataclass change",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _emit(text: str) -> None:
+    """Print, tolerating a consumer that closed the pipe (`| head`)."""
+    try:
+        print(text)
+    except BrokenPipeError:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+
+
+def cmd_lint(args, config: Optional[LintConfig] = None) -> int:
+    config = config or DEFAULT_CONFIG
+    if args.list_rules:
+        _emit(rule_catalog())
+        return 0
+    root = Path(args.root) if args.root else default_root()
+    if args.update_schema:
+        path = write_schema_manifest(root, config)
+        print(f"chain-schema manifest written to {path}")
+        return 0
+    baseline_path = args.baseline
+    if args.no_baseline:
+        baseline_path = False
+    report = run_lint(
+        root,
+        config,
+        select=args.select,
+        paths=args.paths or None,
+        baseline_path=baseline_path,
+    )
+    if args.write_baseline:
+        path = (
+            Path(args.baseline)
+            if args.baseline
+            else root / config.baseline_path
+        )
+        write_baseline(path, report.active)
+        print(f"baseline written to {path} ({len(report.active)} entries)")
+        return 0
+    if args.report:
+        report.write_report(args.report)
+    output = (
+        report.render_jsonl() if args.format == "jsonl" else report.render_text()
+    )
+    if output:
+        _emit(output)
+    return 0 if report.ok else 1

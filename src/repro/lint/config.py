@@ -1,0 +1,89 @@
+"""Lint configuration: what the rules treat as contract boundaries.
+
+Everything path-like is *root-relative* (the root is the directory that
+contains the ``repro`` package, i.e. ``src/`` in this repository), so
+the same rules run unchanged over the shipped tree and over the tiny
+synthetic trees the fixture tests build in ``tmp_path``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Knobs for the rule set; defaults describe this repository."""
+
+    #: Top-level package directory to walk, relative to the root.
+    package: str = "repro"
+
+    #: Root-relative paths never linted (directories end with "/").
+    exclude: Tuple[str, ...] = ()
+
+    # -- DET002: wall-clock ------------------------------------------------
+    #: Files allowed to read the wall clock.  The run manifest stamps
+    #: ``generated_unix`` for humans; it is never fingerprinted.
+    wallclock_allowlist: Tuple[str, ...] = ("repro/obs/manifest.py",)
+
+    # -- CACHE001: cache-schema drift --------------------------------------
+    #: Module holding the chain key construction.
+    chain_module: str = "repro/chain.py"
+    #: Module and constant naming the chain schema tag.
+    schema_const_module: str = "repro/exec/cache.py"
+    schema_const_name: str = "CHAIN_SCHEMA"
+    #: Committed manifest of (chain schema tag, fingerprinted dataclass
+    #: fields); regenerated with ``repro lint --update-schema``.
+    schema_manifest: str = "repro/lint/chain_schema.json"
+    #: Seed dataclasses whose instances reach ``fingerprint()`` as chain
+    #: key components; the rule expands this set transitively through
+    #: dataclass-typed fields.
+    tracked_dataclasses: Tuple[Tuple[str, str], ...] = (
+        ("repro/params.py", "SimProfile"),
+        ("repro/systems/laptops.py", "Machine"),
+        ("repro/em/environment.py", "Scenario"),
+        ("repro/countermeasures.py", "VrmDithering"),
+    )
+
+    # -- CONC001: raw writes under locked stores ---------------------------
+    #: Modules that own the locked/atomic write discipline; raw writes
+    #: to cache/scratch/store paths anywhere else are findings.
+    raw_write_allowlist: Tuple[str, ...] = (
+        "repro/exec/cache.py",
+        "repro/sweep/store.py",
+        "repro/obs/manifest.py",
+    )
+    #: Identifier pattern marking a path expression as cache/store-like.
+    guarded_path_pattern: str = r"cache|scratch|store|result"
+
+    # -- TRACE001: span discipline -----------------------------------------
+    #: Module defining the span-name registry.
+    trace_module: str = "repro/obs/trace.py"
+    span_registry_name: str = "REGISTERED_SPANS"
+    #: Package prefix whose modules may touch Tracer internals.
+    trace_internal_prefix: str = "repro/obs/"
+
+    # -- FLOAT001: float equality ------------------------------------------
+    #: Path prefixes where ``==``/``!=`` on float expressions is flagged.
+    float_eq_scopes: Tuple[str, ...] = ("repro/dsp/", "repro/vrm/")
+
+    # -- baseline ----------------------------------------------------------
+    #: Committed baseline of accepted findings (content fingerprints).
+    baseline_path: str = "repro/lint/baseline.json"
+
+    #: Extra per-rule settings fixture tests may override.
+    extras: Tuple[Tuple[str, str], ...] = field(default=())
+
+    def is_excluded(self, relpath: str) -> bool:
+        for pattern in self.exclude:
+            if pattern.endswith("/"):
+                if relpath.startswith(pattern):
+                    return True
+            elif relpath == pattern:
+                return True
+        return False
+
+
+#: Configuration for the shipped tree.
+DEFAULT_CONFIG = LintConfig()

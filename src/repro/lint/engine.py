@@ -1,0 +1,175 @@
+"""The lint driver: walk, parse, run rules, apply suppressions/baseline.
+
+The engine never imports the tree it lints - everything is AST-level -
+so it runs identically over the shipped package and over synthetic
+fixture trees, and a deliberately broken fixture cannot corrupt the
+linting process.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import load_baseline
+from .config import DEFAULT_CONFIG, LintConfig
+from .findings import Finding
+from .project import Project, SourceFile
+from .rules import Rule, all_rules
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Finding]:
+        return [f for f in self.findings if f.active]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def baselined(self) -> List[Finding]:
+        return [f for f in self.findings if f.baselined]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active and not self.parse_errors
+
+    def summary(self) -> str:
+        return (
+            f"{self.files_checked} files checked: "
+            f"{len(self.active)} finding(s), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{len(self.baselined)} baselined"
+        )
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.extend(f"lint: parse error: {err}" for err in self.parse_errors)
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def render_jsonl(self) -> str:
+        return "\n".join(f.as_jsonl() for f in self.findings)
+
+    def write_report(self, path) -> Path:
+        """Write every finding (active or not) as JSONL to ``path``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = self.render_jsonl()
+        path.write_text(body + "\n" if body else "")
+        return path
+
+
+def load_project(
+    root, config: LintConfig = DEFAULT_CONFIG
+) -> "tuple[Project, List[str]]":
+    """Parse every package module under ``root``; returns parse errors too."""
+    root = Path(root)
+    project = Project(root=root)
+    errors: List[str] = []
+    package_dir = root / config.package
+    for path in sorted(package_dir.rglob("*.py")):
+        relpath = path.relative_to(root).as_posix()
+        if config.is_excluded(relpath):
+            continue
+        try:
+            source = path.read_text(encoding="utf-8")
+            project.files[relpath] = SourceFile.parse(relpath, source)
+        except (OSError, SyntaxError, ValueError) as exc:
+            errors.append(f"{relpath}: {exc}")
+    return project, errors
+
+
+def run_lint(
+    root,
+    config: LintConfig = DEFAULT_CONFIG,
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[Sequence[str]] = None,
+    paths: Optional[Sequence[str]] = None,
+    baseline_path=None,
+) -> LintReport:
+    """Lint the tree under ``root`` and return the report.
+
+    ``select`` restricts to specific rule codes; ``paths`` restricts
+    *per-file* rules to files whose relpath starts with one of the
+    given prefixes (project-level rules always see the whole tree -
+    schema drift is not a per-file property).  ``baseline_path``
+    overrides the config default; pass ``False`` to disable baselining.
+    """
+    config = config or DEFAULT_CONFIG
+    project, errors = load_project(root, config)
+    active_rules = list(rules) if rules is not None else all_rules()
+    if select:
+        wanted = {code.upper() for code in select}
+        active_rules = [r for r in active_rules if r.code in wanted]
+    findings: List[Finding] = []
+    for sf in project.files.values():
+        if paths and not any(sf.relpath.startswith(p) for p in paths):
+            continue
+        for rule in active_rules:
+            findings.extend(rule.check_file(sf, project, config))
+    for rule in active_rules:
+        findings.extend(rule.check_project(project, config))
+
+    _apply_suppressions(project, findings)
+    _apply_baseline(project.root, config, findings, baseline_path)
+    findings.sort(key=lambda f: f.sort_key())
+    return LintReport(
+        findings=findings,
+        files_checked=len(project.files),
+        parse_errors=errors,
+    )
+
+
+def _apply_suppressions(project: Project, findings: List[Finding]) -> None:
+    for finding in findings:
+        sf = project.get(finding.path)
+        if sf is not None and sf.is_suppressed(finding.line, finding.rule):
+            finding.suppressed = True
+
+
+def _apply_baseline(
+    root: Path, config: LintConfig, findings: List[Finding], baseline_path
+) -> None:
+    if baseline_path is False:
+        return
+    path = (
+        Path(baseline_path)
+        if baseline_path is not None
+        else root / config.baseline_path
+    )
+    accepted = load_baseline(path)
+    for finding in findings:
+        if not finding.suppressed and finding.fingerprint in accepted:
+            finding.baselined = True
+
+
+def rule_catalog(rules: Optional[Sequence[Rule]] = None) -> str:
+    """Human-readable ``--list-rules`` output."""
+    lines = []
+    for rule in rules if rules is not None else all_rules():
+        lines.append(f"{rule.code}  {rule.name}: {rule.description}")
+    return "\n".join(lines)
+
+
+def write_schema_manifest(root, config: LintConfig = DEFAULT_CONFIG) -> Path:
+    """Regenerate the committed chain-schema manifest (CACHE001)."""
+    from .rules.cache_schema import compute_schema_manifest
+
+    project, _ = load_project(root, config)
+    manifest = compute_schema_manifest(project, config)
+    path = Path(root) / config.schema_manifest
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,82 @@
+"""Finding model shared by every lint rule.
+
+A :class:`Finding` pins one contract violation to a source location and
+carries a *content fingerprint*: a short digest of (rule, file, stripped
+line text).  Baselines store fingerprints rather than line numbers, so
+unrelated edits above a baselined finding do not churn the baseline
+file, while any edit to the offending line itself re-surfaces it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+def finding_fingerprint(rule: str, path: str, line_text: str) -> str:
+    """Content-addressed identity of one finding (see module docstring)."""
+    payload = f"{rule}|{path}|{line_text.strip()}".encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-root-relative, forward slashes
+    line: int  # 1-based
+    col: int  # 0-based, as reported by ast
+    message: str
+    line_text: str = ""
+    severity: str = "error"
+    suppressed: bool = False  # a `# lint: disable=` comment covers it
+    baselined: bool = False  # the committed baseline covers it
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def fingerprint(self) -> str:
+        return finding_fingerprint(self.rule, self.path, self.line_text)
+
+    @property
+    def active(self) -> bool:
+        """True when this finding should fail the gate."""
+        return not (self.suppressed or self.baselined)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSONL record for ``--format jsonl`` / ``--report``."""
+        record: Dict[str, Any] = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+        if self.meta:
+            record["meta"] = self.meta
+        return record
+
+    def as_jsonl(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    def render(self) -> str:
+        """One-line human rendering (``path:line:col: RULE message``)."""
+        tags = []
+        if self.suppressed:
+            tags.append("suppressed")
+        if self.baselined:
+            tags.append("baselined")
+        suffix = f" [{', '.join(tags)}]" if tags else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.message}{suffix}"
+        )
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule)

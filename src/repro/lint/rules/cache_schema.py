@@ -1,0 +1,308 @@
+"""CACHE001: cache-schema drift.
+
+The chain cache is sound only while two contracts hold:
+
+1. *Key coverage* - every input that can change a stage's physics
+   reaches that stage's ``fingerprint()`` call.  Because
+   ``fingerprint`` hashes dataclasses field-by-field, this reduces to:
+   every parameter of a public chain entry point must flow (possibly
+   through local helper calls) into some ``fingerprint()`` argument.
+
+2. *Schema discipline* - the key-relevant dataclass *shapes* are part
+   of the key only implicitly (a new field changes every digest), so
+   any change to the fingerprinted dataclass graph must be accompanied
+   by a ``CHAIN_SCHEMA`` bump; otherwise a disk cache written by the
+   old code is silently consulted with keys computed by the new code
+   (or vice versa after a revert, which is the dangerous direction:
+   same key, different physics).
+
+Contract 2 is enforced against a committed manifest
+(``repro/lint/chain_schema.json``) recording the schema tag and the
+transitive field lists; ``repro lint --update-schema`` regenerates it
+after an intentional, schema-bumped change.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..config import LintConfig
+from ..findings import Finding
+from ..project import Project
+from .base import Rule
+
+MANIFEST_SCHEMA = "repro-lint-chain-schema-v1"
+
+#: Parameter names that are plumbing, not physics inputs.
+_PLUMBING_PARAMS = {"self", "cache", "key", "on_hit", "compute"}
+
+
+def _function_defs(tree: ast.AST) -> Dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.FunctionDef)
+    }
+
+
+def _param_names(fn: ast.FunctionDef) -> List[str]:
+    args = fn.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def _map_call_args(
+    call: ast.Call, callee: ast.FunctionDef
+) -> List[Tuple[ast.AST, str]]:
+    """Pair each argument expression with the callee parameter it binds."""
+    pairs: List[Tuple[ast.AST, str]] = []
+    positional = callee.args.posonlyargs + callee.args.args
+    for index, arg in enumerate(call.args):
+        if index < len(positional):
+            pairs.append((arg, positional[index].arg))
+    valid = set(_param_names(callee))
+    for keyword in call.keywords:
+        if keyword.arg is not None and keyword.arg in valid:
+            pairs.append((keyword.value, keyword.arg))
+    return pairs
+
+
+def _fingerprint_reach(
+    functions: Dict[str, ast.FunctionDef],
+) -> Dict[str, Set[str]]:
+    """Per function: parameters that (transitively) reach fingerprint().
+
+    A parameter reaches directly when it appears inside an argument of a
+    ``fingerprint(...)`` call, and transitively when it is passed into a
+    local callee parameter that itself reaches.  Iterated to fixpoint.
+    """
+    reach: Dict[str, Set[str]] = {name: set() for name in functions}
+    for name, fn in functions.items():
+        params = set(_param_names(fn))
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and _call_name(node) == "fingerprint":
+                used: Set[str] = set()
+                for arg in node.args:
+                    used |= _names_in(arg)
+                for keyword in node.keywords:
+                    used |= _names_in(keyword.value)
+                reach[name] |= used & params
+    changed = True
+    while changed:
+        changed = False
+        for name, fn in functions.items():
+            params = set(_param_names(fn))
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee_name = _call_name(node)
+                if callee_name is None or callee_name not in functions:
+                    continue
+                callee = functions[callee_name]
+                for arg_expr, callee_param in _map_call_args(node, callee):
+                    if callee_param not in reach[callee_name]:
+                        continue
+                    hits = _names_in(arg_expr) & params
+                    if hits - reach[name]:
+                        reach[name] |= hits
+                        changed = True
+    return reach
+
+
+def _stage_runners(functions: Dict[str, ast.FunctionDef]) -> Set[str]:
+    """Functions that (transitively, module-locally) execute a stage."""
+    runners: Set[str] = set()
+    for name, fn in functions.items():
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and _call_name(node) == "stage":
+                runners.add(name)
+                break
+    changed = True
+    while changed:
+        changed = False
+        for name, fn in functions.items():
+            if name in runners:
+                continue
+            for node in ast.walk(fn):
+                if (
+                    isinstance(node, ast.Call)
+                    and _call_name(node) in runners
+                ):
+                    runners.add(name)
+                    changed = True
+                    break
+    return runners
+
+
+def compute_schema_manifest(
+    project: Project, config: LintConfig
+) -> Dict[str, object]:
+    """The manifest the shipped tree should match (see module docstring)."""
+    schema = project.module_constant(
+        config.schema_const_module, config.schema_const_name
+    )
+    closure = project.expand_dataclass_graph(list(config.tracked_dataclasses))
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "chain_schema": schema,
+        "dataclasses": {
+            key: closure[key].fields for key in sorted(closure)
+        },
+    }
+
+
+class CacheSchemaRule(Rule):
+    """CACHE001: key coverage + schema-bump discipline."""
+
+    code = "CACHE001"
+    name = "cache-schema-drift"
+    description = (
+        "chain inputs must reach fingerprint(); fingerprinted dataclass "
+        "changes must bump CHAIN_SCHEMA and refresh the manifest"
+    )
+
+    def check_project(
+        self, project: Project, config: LintConfig
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        findings.extend(self._check_key_coverage(project, config))
+        findings.extend(self._check_manifest(project, config))
+        return findings
+
+    # -- contract 1: key coverage in the chain module ----------------------
+
+    def _check_key_coverage(
+        self, project: Project, config: LintConfig
+    ) -> List[Finding]:
+        sf = project.get(config.chain_module)
+        if sf is None:
+            return []
+        functions = _function_defs(sf.tree)
+        reach = _fingerprint_reach(functions)
+        runners = _stage_runners(functions)
+        findings: List[Finding] = []
+        for name in sorted(runners):
+            if name.startswith("_"):
+                continue  # internal stages are covered by their callers
+            fn = functions[name]
+            for param in _param_names(fn):
+                if param in _PLUMBING_PARAMS or param.startswith("k_"):
+                    continue
+                if param in reach[name]:
+                    continue
+                findings.append(
+                    self.finding(
+                        sf,
+                        fn,
+                        f"parameter {param!r} of chain entry point "
+                        f"{name}() never reaches fingerprint(); stale "
+                        "cache entries would be served when it changes",
+                    )
+                )
+        for node in ast.walk(sf.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _call_name(node) == "fingerprint"
+                and config.schema_const_name not in _names_in(node)
+            ):
+                findings.append(
+                    self.finding(
+                        sf,
+                        node,
+                        "chain-key fingerprint() call without "
+                        f"{config.schema_const_name}; stale disk caches "
+                        "from older chain semantics could be served",
+                    )
+                )
+        return findings
+
+    # -- contract 2: manifest vs tree --------------------------------------
+
+    def _check_manifest(
+        self, project: Project, config: LintConfig
+    ) -> List[Finding]:
+        current = compute_schema_manifest(project, config)
+        manifest_path = project.root / config.schema_manifest
+        if not manifest_path.exists():
+            return [
+                self.finding(
+                    config.schema_manifest,
+                    1,
+                    "chain-schema manifest missing; run "
+                    "`repro lint --update-schema` to record the "
+                    "fingerprinted dataclass shapes",
+                )
+            ]
+        try:
+            recorded = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return [
+                self.finding(
+                    config.schema_manifest,
+                    1,
+                    "chain-schema manifest unreadable; regenerate with "
+                    "`repro lint --update-schema`",
+                )
+            ]
+        findings: List[Finding] = []
+        schema_bumped = recorded.get("chain_schema") != current["chain_schema"]
+        recorded_shapes = recorded.get("dataclasses", {})
+        current_shapes = current["dataclasses"]
+        drifted = sorted(
+            key
+            for key in set(recorded_shapes) | set(current_shapes)
+            if recorded_shapes.get(key) != current_shapes.get(key)
+        )
+        for key in drifted:
+            relpath, _, class_name = key.partition(":")
+            lineno = 1
+            info_map = project.dataclasses_in(relpath)
+            if class_name in info_map:
+                lineno = info_map[class_name].lineno
+            anchor = project.get(relpath)
+            before = recorded_shapes.get(key)
+            after = current_shapes.get(key)
+            if schema_bumped:
+                message = (
+                    f"fingerprinted dataclass {class_name} changed "
+                    f"({before} -> {after}); CHAIN_SCHEMA was bumped - "
+                    "refresh the manifest with `repro lint --update-schema`"
+                )
+            else:
+                message = (
+                    f"fingerprinted dataclass {class_name} changed "
+                    f"({before} -> {after}) without a "
+                    f"{config.schema_const_name} bump; old disk-cache "
+                    "entries would collide with new-physics keys"
+                )
+            findings.append(
+                self.finding(anchor or relpath, lineno, message)
+            )
+        if schema_bumped and not drifted:
+            findings.append(
+                self.finding(
+                    config.schema_manifest,
+                    1,
+                    f"{config.schema_const_name} is now "
+                    f"{current['chain_schema']!r} but the manifest "
+                    f"records {recorded.get('chain_schema')!r}; refresh "
+                    "with `repro lint --update-schema`",
+                )
+            )
+        return findings

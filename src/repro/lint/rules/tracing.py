@@ -1,0 +1,143 @@
+"""TRACE001: span discipline.
+
+Spans must be opened through the ``span()`` context manager (or a
+module-local helper that forwards a parameter to it) with a name from
+``repro.obs.trace.REGISTERED_SPANS``.  Two failure modes this catches:
+
+* an ad-hoc or typo'd span name, which silently fragments the trace
+  stream (dashboards and the regression tooling filter by name);
+* hand-built span events (direct ``Tracer`` use outside ``repro/obs``),
+  which skip the duration/lazy-attribute bookkeeping ``span()`` does.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from ..config import LintConfig
+from ..findings import Finding
+from ..project import Project, SourceFile
+from .base import Rule, enclosing_functions
+
+
+def _first_span_arg(call: ast.Call) -> Optional[ast.AST]:
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "name":
+            return keyword.value
+    return None
+
+
+def _forwarding_helpers(tree: ast.AST, span_callable: str) -> Set[str]:
+    """Local functions that forward one of their params as the span name."""
+    helpers: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        params = {a.arg for a in node.args.posonlyargs + node.args.args}
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            if not (
+                isinstance(call.func, ast.Name)
+                and call.func.id == span_callable
+            ):
+                continue
+            first = _first_span_arg(call)
+            if isinstance(first, ast.Name) and first.id in params:
+                helpers.add(node.name)
+    return helpers
+
+
+class SpanDisciplineRule(Rule):
+    """TRACE001: spans via helpers only, with registered names."""
+
+    code = "TRACE001"
+    name = "span-discipline"
+    description = (
+        "span() calls must use registered names; Tracer internals stay "
+        "inside repro/obs"
+    )
+
+    def check_file(
+        self, sf: SourceFile, project: Project, config: LintConfig
+    ) -> List[Finding]:
+        if sf.relpath == config.trace_module:
+            return []
+        registry = project.module_constant(
+            config.trace_module, config.span_registry_name
+        )
+        registered: Set[str] = set(registry) if registry else set()
+        findings: List[Finding] = []
+        helpers = _forwarding_helpers(sf.tree, "span")
+        span_callables = {"span"} | helpers
+        owner = enclosing_functions(sf.tree)
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in span_callables:
+                findings.extend(
+                    self._check_span_call(
+                        sf, node, registered, helpers, owner
+                    )
+                )
+            elif (
+                isinstance(func, ast.Name)
+                and func.id == "Tracer"
+                and not sf.relpath.startswith(config.trace_internal_prefix)
+            ):
+                findings.append(
+                    self.finding(
+                        sf,
+                        node,
+                        "direct Tracer construction outside repro/obs; "
+                        "use tracing_scope()/collect_events() and the "
+                        "span()/trace_event() helpers",
+                    )
+                )
+        return findings
+
+    def _check_span_call(
+        self,
+        sf: SourceFile,
+        node: ast.Call,
+        registered: Set[str],
+        helpers: Set[str],
+        owner,
+    ) -> List[Finding]:
+        first = _first_span_arg(node)
+        if first is None:
+            return []
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            if registered and first.value not in registered:
+                return [
+                    self.finding(
+                        sf,
+                        node,
+                        f"span name {first.value!r} is not in "
+                        "REGISTERED_SPANS (repro/obs/trace.py); register "
+                        "it or fix the typo",
+                    )
+                ]
+            return []
+        # Non-literal name: fine only inside a forwarding helper (its
+        # call sites are checked instead).
+        enclosing = owner.get(node)
+        if (
+            isinstance(enclosing, ast.FunctionDef)
+            and enclosing.name in helpers
+            and isinstance(first, ast.Name)
+        ):
+            return []
+        return [
+            self.finding(
+                sf,
+                node,
+                "span name must be a string literal (or a parameter "
+                "forwarded by a local helper) so TRACE001 can check it "
+                "against the registry",
+            )
+        ]

@@ -48,6 +48,27 @@ _tracer: ContextVar[Optional["Tracer"]] = ContextVar(
 #: Hex digits kept when abbreviating a 64-char cache key for an event.
 KEY_PREFIX_LEN = 12
 
+#: Every span name the code base may open.  ``repro.lint`` rule TRACE001
+#: checks each ``span("...")`` call site against this registry, so a
+#: typo'd or ad-hoc span name is a lint error, not a silently unfilterable
+#: trace stream.  Add the name here (alphabetical) when introducing a new
+#: span kind.
+REGISTERED_SPANS = frozenset(
+    {
+        "dither",
+        "emission",
+        "parallel_map",
+        "pmu",
+        "propagation",
+        "sdr",
+        "stream.chunk",
+        "sweep.group",
+        "sweep.plan",
+        "sweep.trial",
+        "vrm",
+    }
+)
+
 
 def _jsonable(value: Any) -> Any:
     """Coerce numpy scalars and other strays into JSON-friendly types."""

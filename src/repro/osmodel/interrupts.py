@@ -19,7 +19,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..types import ActivityTrace
-from ..power.workload import burst_workload
 
 
 @dataclass(frozen=True)

@@ -30,7 +30,7 @@ Three stock profiles are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 #: VRM switching frequency observed on the paper's flagship laptop (Hz).
 PAPER_VRM_FREQUENCY_HZ = 970e3

@@ -20,12 +20,13 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import os
 import shutil
 import tempfile
 import time
 from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -36,7 +37,7 @@ from ..exec.context import execution_scope, get_execution_config
 from ..exec.pool import parallel_map, resolve_jobs
 from ..obs.metrics import tap_sweep
 from ..obs.trace import key_prefix, rng_digest, span, trace_event
-from .plan import StageNode, SweepPlan, TrialPlan, plan_sweep
+from .plan import SweepPlan, TrialPlan, plan_sweep
 from .spec import SweepSpec, TrialSpec, build_link, trial_payload
 from .store import STORE_SCHEMA, ResultStore
 
@@ -188,7 +189,7 @@ def run_sweep(
     spec: Union[SweepSpec, List[TrialSpec]],
     *,
     plan: Optional[SweepPlan] = None,
-    results_path=None,
+    results_path: Optional[os.PathLike] = None,
     resume: bool = True,
     naive: bool = False,
     jobs: Optional[int] = None,

@@ -21,7 +21,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -228,7 +228,7 @@ def trial_payload(trial: TrialSpec) -> np.ndarray:
 # The grid
 
 
-def _check_fields(names, where: str) -> None:
+def _check_fields(names: Iterable[str], where: str) -> None:
     for name in names:
         if name not in _TRIAL_FIELDS:
             known = ", ".join(_TRIAL_FIELDS)

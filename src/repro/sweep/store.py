@@ -26,7 +26,7 @@ class ResultStore:
     the engine use one code path either way.
     """
 
-    def __init__(self, path: Optional[os.PathLike] = None):
+    def __init__(self, path: Optional[os.PathLike] = None) -> None:
         self.path = Path(path) if path is not None else None
         self._records: Dict[str, dict] = {}
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.acquisition import (
     AcquisitionConfig,
-    Envelope,
     acquire,
     harmonic_bins,
 )

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.acquisition import AcquisitionConfig
 from repro.core.align import align_bits
 from repro.core.decoder import BatchDecoder, DecoderConfig
 

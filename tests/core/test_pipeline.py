@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.pipeline import receive
 from repro.covert.link import CovertLink
-from repro.core.coding import bits_to_bytes, bytes_to_bits
+from repro.core.coding import bytes_to_bits
 from repro.params import TINY
 from repro.systems.laptops import DELL_INSPIRON
 

@@ -6,7 +6,6 @@ import pytest
 from repro.chain import paper_tuned_frequency_hz, tuned_frequency_hz
 from repro.covert.adaptive import find_max_rate, total_error_rate
 from repro.covert.link import CovertLink
-from repro.em.environment import distance_scenario
 from repro.params import TINY
 from repro.systems.laptops import DELL_INSPIRON
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.covert.evaluate import ChannelEvaluation, evaluate_link
+from repro.covert.evaluate import evaluate_link
 from repro.covert.link import CovertLink
 from repro.params import TINY
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.sync import FrameFormat
-from repro.covert.packets import Packet, PacketFormat, Packetizer, crc8
+from repro.covert.packets import PacketFormat, Packetizer, crc8
 
 
 class TestCrc8:

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.em.environment import (
-    Scenario,
     distance_scenario,
     near_field_scenario,
     through_wall_scenario,

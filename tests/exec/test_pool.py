@@ -1,6 +1,5 @@
 """Tests for parallel_map and the execution context."""
 
-import numpy as np
 import pytest
 
 from repro.exec.context import (

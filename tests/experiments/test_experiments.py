@@ -5,7 +5,6 @@ orderings, appearance/disappearance of effects, and metric bands -
 never exact numbers.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import get_experiment, list_experiments

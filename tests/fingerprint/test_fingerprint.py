@@ -14,7 +14,6 @@ from repro.fingerprint.features import (
 )
 from repro.fingerprint.workloads import (
     LoadPhase,
-    WebsiteProfile,
     default_catalog,
 )
 from repro.keylog.detector import DetectedEvent

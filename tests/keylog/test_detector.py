@@ -1,6 +1,5 @@
 """Tests for the keystroke detector."""
 
-import numpy as np
 import pytest
 
 from repro.keylog.detector import (

@@ -1,6 +1,5 @@
 """Tests for the keylogging evaluation harness."""
 
-import numpy as np
 import pytest
 
 from repro.keylog.evaluate import KeylogExperiment

@@ -6,7 +6,6 @@ import pytest
 from repro.keylog.detector import DetectedEvent
 from repro.keylog.interkey import (
     IntervalProfile,
-    TimingAnalysis,
     analyze_timing,
     dictionary_reduction_factor,
     intervals_from_events,

@@ -1,0 +1,45 @@
+"""Fixture-tree helpers for the lint rule tests.
+
+Each rule test builds a minimal synthetic package tree under
+``tmp_path`` and runs the real engine over it (the engine never imports
+what it lints, so the snippets can be deliberately broken).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.lint import run_lint
+
+
+def write_tree(root: Path, files: Dict[str, str]) -> Path:
+    for relpath, content in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content))
+    return root
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    """Build a tree and return a lint runner bound to it."""
+
+    def build(files: Dict[str, str]):
+        root = write_tree(tmp_path / "tree", files)
+
+        def lint(**kwargs):
+            kwargs.setdefault("baseline_path", False)
+            return run_lint(root, **kwargs)
+
+        return root, lint
+
+    return build
+
+
+def codes(report):
+    """Rule codes of the *active* findings, in report order."""
+    return [f.rule for f in report.active]

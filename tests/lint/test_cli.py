@@ -1,0 +1,112 @@
+"""`repro lint` CLI surface: flags, formats, maintenance actions."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.lint import rules_by_code
+
+from .conftest import write_tree
+
+VIOLATION = {
+    "repro/mod.py": """
+    import numpy as np
+
+    def draw():
+        return np.random.normal(0.0, 1.0)
+    """
+}
+
+ALL_CODES = [
+    "DET001",
+    "DET002",
+    "CACHE001",
+    "CONC001",
+    "TRACE001",
+    "FLOAT001",
+]
+
+
+def test_registry_covers_the_issue_codes():
+    assert sorted(rules_by_code()) == sorted(ALL_CODES)
+
+
+def test_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ALL_CODES:
+        assert code in out
+
+
+def test_jsonl_format(tmp_path, capsys):
+    root = write_tree(tmp_path, VIOLATION)
+    assert (
+        main(
+            [
+                "lint",
+                "--root",
+                str(root),
+                "--select",
+                "DET001",
+                "--format",
+                "jsonl",
+                "--no-baseline",
+            ]
+        )
+        == 1
+    )
+    record = json.loads(capsys.readouterr().out.strip())
+    assert record["rule"] == "DET001"
+
+
+def test_report_file_written(tmp_path, capsys):
+    root = write_tree(tmp_path, VIOLATION)
+    out = tmp_path / "findings.jsonl"
+    main(
+        [
+            "lint",
+            "--root",
+            str(root),
+            "--select",
+            "DET001",
+            "--report",
+            str(out),
+            "--no-baseline",
+        ]
+    )
+    capsys.readouterr()
+    assert out.exists()
+    assert json.loads(out.read_text().splitlines()[0])["rule"] == "DET001"
+
+
+def test_write_baseline_then_green(tmp_path, capsys):
+    root = write_tree(tmp_path, VIOLATION)
+    baseline = tmp_path / "baseline.json"
+    common = [
+        "lint",
+        "--root",
+        str(root),
+        "--select",
+        "DET001",
+        "--baseline",
+        str(baseline),
+    ]
+    assert main(common) == 1
+    assert main(common + ["--write-baseline"]) == 0
+    assert main(common) == 0
+    out = capsys.readouterr().out
+    assert "baselined" in out
+
+
+def test_update_schema_writes_manifest(tmp_path, capsys):
+    files = {
+        "repro/chain.py": "",
+        "repro/exec/cache.py": 'CHAIN_SCHEMA = "chain-v1"\n',
+    }
+    root = write_tree(tmp_path, files)
+    assert main(["lint", "--root", str(root), "--update-schema"]) == 0
+    capsys.readouterr()
+    manifest = root / "repro/lint/chain_schema.json"
+    assert manifest.exists()
+    assert json.loads(manifest.read_text())["chain_schema"] == "chain-v1"

@@ -1,0 +1,95 @@
+"""CONC001 fixtures: raw writes to guarded store paths."""
+
+from __future__ import annotations
+
+from .conftest import codes
+
+
+class TestConc001:
+    def test_raw_write_to_results_path_flagged(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/mod.py": """
+                def save(results_path, line):
+                    with open(results_path, "a") as fh:
+                        fh.write(line)
+                """
+            }
+        )
+        report = lint(select=["CONC001"])
+        assert codes(report) == ["CONC001"]
+        assert "locked/atomic helpers" in report.active[0].message
+
+    def test_path_open_write_on_cache_dir_flagged(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/mod.py": """
+                def publish(cache_dir, key, payload):
+                    with (cache_dir / key).open("wb") as fh:
+                        fh.write(payload)
+                """
+            }
+        )
+        assert codes(lint(select=["CONC001"])) == ["CONC001"]
+
+    def test_write_text_on_store_path_flagged(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/mod.py": """
+                def publish(store_path, body):
+                    store_path.write_text(body)
+                """
+            }
+        )
+        assert codes(lint(select=["CONC001"])) == ["CONC001"]
+
+    def test_read_mode_clean(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/mod.py": """
+                def load(results_path):
+                    with open(results_path, "r") as fh:
+                        return fh.read()
+                """
+            }
+        )
+        assert codes(lint(select=["CONC001"])) == []
+
+    def test_unguarded_path_clean(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/mod.py": """
+                def save(report_path, body):
+                    with open(report_path, "w") as fh:
+                        fh.write(body)
+                """
+            }
+        )
+        assert codes(lint(select=["CONC001"])) == []
+
+    def test_blessed_module_clean(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/exec/cache.py": """
+                def publish(cache_dir, key, payload):
+                    with (cache_dir / key).open("wb") as fh:
+                        fh.write(payload)
+                """
+            }
+        )
+        assert codes(lint(select=["CONC001"])) == []
+
+    def test_raw_fcntl_outside_cache_module_flagged(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/mod.py": """
+                import fcntl
+
+                def hold(handle):
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                """
+            }
+        )
+        report = lint(select=["CONC001"])
+        assert codes(report) == ["CONC001"]
+        assert "ChainCache.lock()" in report.active[0].message

@@ -1,0 +1,140 @@
+"""DET001 (seed provenance) and DET002 (wall-clock) fixtures."""
+
+from __future__ import annotations
+
+from .conftest import codes
+
+
+class TestDet001:
+    def test_module_level_draw_flagged(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/mod.py": """
+                import numpy as np
+
+                def draw():
+                    return np.random.normal(0.0, 1.0)
+                """
+            }
+        )
+        report = lint(select=["DET001"])
+        assert codes(report) == ["DET001"]
+        assert "global generator" in report.active[0].message
+
+    def test_aliased_numpy_import_resolved(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/mod.py": """
+                import numpy as xp
+
+                def draw():
+                    return xp.random.rand(4)
+                """
+            }
+        )
+        assert codes(lint(select=["DET001"])) == ["DET001"]
+
+    def test_argless_default_rng_flagged(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/mod.py": """
+                from numpy.random import default_rng
+
+                def make():
+                    return default_rng()
+                """
+            }
+        )
+        report = lint(select=["DET001"])
+        assert codes(report) == ["DET001"]
+        assert "OS entropy" in report.active[0].message
+
+    def test_stdlib_random_flagged(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/mod.py": """
+                import random
+
+                def draw():
+                    return random.randint(0, 10)
+                """
+            }
+        )
+        assert codes(lint(select=["DET001"])) == ["DET001"]
+
+    def test_seeded_calls_clean(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/mod.py": """
+                import random
+
+                import numpy as np
+                from numpy.random import default_rng
+
+                def make(seed):
+                    a = np.random.default_rng(seed)
+                    b = default_rng(seed + 1)
+                    c = np.random.Generator(np.random.PCG64(seed))
+                    d = np.random.SeedSequence(seed)
+                    e = random.Random(seed)
+                    return a, b, c, d, e
+                """
+            }
+        )
+        assert codes(lint(select=["DET001"])) == []
+
+
+class TestDet002:
+    def test_time_time_flagged(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/mod.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+                """
+            }
+        )
+        report = lint(select=["DET002"])
+        assert codes(report) == ["DET002"]
+        assert "wall-clock" in report.active[0].message
+
+    def test_datetime_now_flagged(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/mod.py": """
+                from datetime import datetime
+
+                def stamp():
+                    return datetime.now()
+                """
+            }
+        )
+        assert codes(lint(select=["DET002"])) == ["DET002"]
+
+    def test_allowlisted_module_clean(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/obs/manifest.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+                """
+            }
+        )
+        assert codes(lint(select=["DET002"])) == []
+
+    def test_monotonic_clocks_clean(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/mod.py": """
+                import time
+
+                def elapsed(t0):
+                    return time.perf_counter() - t0, time.monotonic()
+                """
+            }
+        )
+        assert codes(lint(select=["DET002"])) == []

@@ -1,0 +1,145 @@
+"""Engine semantics: suppressions, baseline, fingerprints, reports."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import finding_fingerprint, load_baseline, write_baseline
+
+from .conftest import codes
+
+VIOLATION = {
+    "repro/mod.py": """
+    import numpy as np
+
+    def draw():
+        return np.random.normal(0.0, 1.0)
+    """
+}
+
+
+class TestSuppressions:
+    def test_code_specific_suppression(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/mod.py": """
+                import numpy as np
+
+                def draw():
+                    return np.random.normal()  # lint: disable=DET001
+                """
+            }
+        )
+        report = lint(select=["DET001"])
+        assert codes(report) == []
+        assert len(report.suppressed) == 1
+        assert report.ok
+
+    def test_bare_suppression_covers_all_codes(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/mod.py": """
+                import time
+
+                def stamp():
+                    return time.time()  # lint: disable
+                """
+            }
+        )
+        assert codes(lint(select=["DET002"])) == []
+
+    def test_wrong_code_does_not_suppress(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/mod.py": """
+                import time
+
+                def stamp():
+                    return time.time()  # lint: disable=DET001
+                """
+            }
+        )
+        assert codes(lint(select=["DET002"])) == ["DET002"]
+
+
+class TestBaseline:
+    def test_baselined_finding_does_not_fail(self, make_tree, tmp_path):
+        _, lint = make_tree(VIOLATION)
+        report = lint(select=["DET001"])
+        assert not report.ok
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, report.active)
+        again = lint(select=["DET001"], baseline_path=baseline)
+        assert again.ok
+        assert len(again.baselined) == 1
+
+    def test_fingerprint_survives_line_moves(self):
+        assert finding_fingerprint(
+            "DET001", "repro/mod.py", "  x = np.random.normal()  "
+        ) == finding_fingerprint(
+            "DET001", "repro/mod.py", "x = np.random.normal()"
+        )
+
+    def test_fingerprint_changes_with_content(self):
+        assert finding_fingerprint(
+            "DET001", "repro/mod.py", "x = np.random.normal()"
+        ) != finding_fingerprint(
+            "DET001", "repro/mod.py", "x = np.random.rand()"
+        )
+
+    def test_missing_or_foreign_baseline_ignored(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_baseline(bad) == set()
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text(json.dumps({"schema": "other", "entries": []}))
+        assert load_baseline(foreign) == set()
+
+
+class TestReports:
+    def test_jsonl_report_roundtrip(self, make_tree, tmp_path):
+        _, lint = make_tree(VIOLATION)
+        report = lint(select=["DET001"])
+        out = tmp_path / "findings.jsonl"
+        report.write_report(out)
+        records = [
+            json.loads(line) for line in out.read_text().splitlines()
+        ]
+        assert len(records) == 1
+        assert records[0]["rule"] == "DET001"
+        assert records[0]["path"] == "repro/mod.py"
+        assert records[0]["fingerprint"]
+
+    def test_text_rendering_has_location_and_summary(self, make_tree):
+        _, lint = make_tree(VIOLATION)
+        text = lint(select=["DET001"]).render_text()
+        assert "repro/mod.py:5:" in text
+        assert "DET001" in text
+        assert "1 finding(s)" in text
+
+    def test_parse_error_fails_the_gate(self, make_tree):
+        _, lint = make_tree({"repro/broken.py": "def oops(:\n    pass\n"})
+        report = lint()
+        assert report.parse_errors
+        assert not report.ok
+
+    def test_paths_filter_limits_per_file_rules(self, make_tree):
+        _, lint = make_tree(
+            {
+                "repro/a.py": """
+                import numpy as np
+
+                def draw():
+                    return np.random.rand()
+                """,
+                "repro/sub/b.py": """
+                import numpy as np
+
+                def draw():
+                    return np.random.rand()
+                """,
+            }
+        )
+        report = lint(select=["DET001"], paths=["repro/sub/"])
+        assert [f.path for f in report.active] == ["repro/sub/b.py"]

@@ -1,0 +1,114 @@
+"""TRACE001 fixtures: span names and Tracer containment."""
+
+from __future__ import annotations
+
+from .conftest import codes
+
+TRACE_MODULE = {
+    "repro/obs/trace.py": """
+    REGISTERED_SPANS = frozenset({"pmu", "vrm"})
+
+
+    def span(name, attrs=None, lazy=None):
+        pass
+
+
+    class Tracer:
+        pass
+    """
+}
+
+
+class TestTrace001:
+    def test_registered_literal_clean(self, make_tree):
+        _, lint = make_tree(
+            {
+                **TRACE_MODULE,
+                "repro/mod.py": """
+                from .obs.trace import span
+
+                def go():
+                    with span("pmu"):
+                        pass
+                """,
+            }
+        )
+        assert codes(lint(select=["TRACE001"])) == []
+
+    def test_unregistered_literal_flagged(self, make_tree):
+        _, lint = make_tree(
+            {
+                **TRACE_MODULE,
+                "repro/mod.py": """
+                from .obs.trace import span
+
+                def go():
+                    with span("pmuu"):
+                        pass
+                """,
+            }
+        )
+        report = lint(select=["TRACE001"])
+        assert codes(report) == ["TRACE001"]
+        assert "'pmuu'" in report.active[0].message
+
+    def test_forwarding_helper_checked_at_call_site(self, make_tree):
+        """A helper forwarding its param is fine; its call sites carry
+        the literal and are checked against the registry."""
+        _, lint = make_tree(
+            {
+                **TRACE_MODULE,
+                "repro/mod.py": """
+                from .obs.trace import span
+
+                def stage_span(name, key):
+                    return span(name, {"key": key})
+
+                def good():
+                    return stage_span("vrm", "k")
+
+                def bad():
+                    return stage_span("unregistered", "k")
+                """,
+            }
+        )
+        report = lint(select=["TRACE001"])
+        assert codes(report) == ["TRACE001"]
+        assert "'unregistered'" in report.active[0].message
+
+    def test_dynamic_name_outside_helper_flagged(self, make_tree):
+        _, lint = make_tree(
+            {
+                **TRACE_MODULE,
+                "repro/mod.py": """
+                from .obs.trace import span
+
+                def go(names):
+                    with span(names[0]):
+                        pass
+                """,
+            }
+        )
+        report = lint(select=["TRACE001"])
+        assert codes(report) == ["TRACE001"]
+        assert "string literal" in report.active[0].message
+
+    def test_tracer_outside_obs_flagged(self, make_tree):
+        _, lint = make_tree(
+            {
+                **TRACE_MODULE,
+                "repro/mod.py": """
+                from .obs.trace import Tracer
+
+                def go(sink):
+                    return Tracer(sink)
+                """,
+            }
+        )
+        report = lint(select=["TRACE001"])
+        assert codes(report) == ["TRACE001"]
+        assert "tracing_scope" in report.active[0].message
+
+    def test_trace_module_itself_exempt(self, make_tree):
+        _, lint = make_tree(TRACE_MODULE)
+        assert codes(lint(select=["TRACE001"])) == []

@@ -7,7 +7,6 @@ gate with a per-metric diff.
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.obs.baseline import (

@@ -9,7 +9,6 @@ work through a real pool and check nothing is lost.
 import io
 import json
 
-import numpy as np
 
 from repro.exec.pool import parallel_map
 from repro.obs.metrics import flatten, get_metrics, metrics_scope

@@ -9,7 +9,6 @@ from repro.params import (
     PAPER_VRM_FREQUENCY_HZ,
     REDUCED,
     TINY,
-    SimProfile,
     get_profile,
 )
 
