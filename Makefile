@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test lint lint-baseline bench bench-parallel bench-sweep smoke-parallel smoke-stream smoke-sweep regress regress-record
+.PHONY: test lint lint-baseline bench bench-parallel bench-sweep bench-vector smoke-batch smoke-parallel smoke-stream smoke-sweep regress regress-record
 
 test:
 	$(PY) -m pytest -x -q
@@ -46,6 +46,20 @@ bench-parallel:
 bench-sweep:
 	$(PY) -m pytest benchmarks/test_bench_sweep.py \
 		--benchmark-only --benchmark-json=BENCH_sweep.json
+
+# Time the trial-major batched chain (repro.batch) against trial-at-a-
+# time naive scalar execution on the receiver grid, and record both
+# sides, the executor decision, and the whole-sweep + marginal
+# per-trial speedups to BENCH_vector.json.
+bench-vector:
+	$(PY) -m pytest benchmarks/test_bench_vector.py \
+		--benchmark-only --benchmark-json=BENCH_vector.json
+
+# Quick end-to-end sanity check of the batched path: the receiver grid
+# forced through the trial-major runner in one process (the adaptive
+# executor's batched-serial lane; records are bit-identical to scalar).
+smoke-batch:
+	$(PY) -m repro sweep receiver-grid --jobs 1 --batch on
 
 # Quick end-to-end sanity check of the process pool: one experiment
 # fanned out across two workers.

@@ -1,0 +1,131 @@
+"""Bench the trial-major batched chain against the serial scalar chain.
+
+The claim under test (ISSUE 6 tentpole): on `repro sweep receiver-grid`
+the batched engine - one bincount/convolution/STFT pass per shared
+stage group, scheduled by the adaptive executor's batched-serial lane -
+beats trial-at-a-time naive scalar execution, with every per-trial
+record bit-identical.
+
+Measurement notes.  Shared-host CPU throttling makes single timings
+swing several-fold here, so both sides are timed interleaved and the
+*minimum* over rounds is compared (the ``timeit`` estimator: the min is
+the least-throttled observation of a deterministic workload).  Two
+ratios are recorded to ``BENCH_vector.json`` via ``extra_info``:
+
+* ``speedup`` - whole-sweep naive/batched.  Bounded by the grid's
+  sharing structure: all eight receiver variants decode one shared
+  capture, and bit-identity freezes that chain's FFT arithmetic, so the
+  batched sweep still pays one full scalar-equivalent chain render.
+* ``per_trial_speedup`` - naive per-trial cost vs the batched
+  *marginal* cost per trial (total minus the one shared chain render).
+  This is the ratio that governs large homogeneous batches, where the
+  one-off chain render amortises away; the >= 10x vectorization target
+  applies here.
+"""
+
+import time
+
+from repro.exec import choose_executor, execution_scope, reset_chain_cache
+from repro.obs.trace import collect_events
+from repro.sweep import receiver_grid, run_sweep
+
+ROUNDS = 3
+
+
+def _comparable(record):
+    return {k: v for k, v in record.items() if k != "elapsed_s"}
+
+
+def _time_naive(spec):
+    reset_chain_cache()
+    t0 = time.perf_counter()
+    outcome = run_sweep(spec, naive=True, jobs=1)
+    return time.perf_counter() - t0, outcome
+
+
+def _time_batched(spec):
+    reset_chain_cache()
+    t0 = time.perf_counter()
+    with execution_scope(cache_enabled=True):
+        with collect_events() as events:
+            outcome = run_sweep(spec, jobs=1, batch="on")
+    return time.perf_counter() - t0, outcome, list(events)
+
+
+def test_bench_vector_receiver_grid(benchmark):
+    """Naive serial scalar vs batched engine, interleaved min-of-N."""
+    spec = receiver_grid(seed=0, quick=False)
+
+    # Warm both paths once: the first FFTs of a process run while the
+    # CPU governor is still ramping, which would bias whichever side
+    # goes first.
+    _time_batched(spec)
+    _time_naive(spec)
+
+    naive_s, batched_s = float("inf"), float("inf")
+    naive = batched = events = None
+    for _ in range(ROUNDS - 1):
+        b, batched_i, events_i = _time_batched(spec)
+        n, naive_i = _time_naive(spec)
+        if b < batched_s:
+            batched_s, batched, events = b, batched_i, events_i
+        if n < naive_s:
+            naive_s, naive = n, naive_i
+
+    def batched_once():
+        return _time_batched(spec)
+
+    b, batched_i, events_i = benchmark.pedantic(
+        batched_once, rounds=1, iterations=1
+    )
+    if b < batched_s:
+        batched_s, batched, events = b, batched_i, events_i
+    reset_chain_cache()
+
+    # Bit-identity: batching reorders the arithmetic across trials,
+    # never within one.
+    assert batched.stats["batch"] == 1.0
+    assert len(batched.records) == 8
+    for got, want in zip(batched.records, naive.records):
+        assert _comparable(got) == _comparable(want)
+
+    # The shared chain rendered exactly once in the batched sweep.
+    chain_spans = [
+        e
+        for e in events
+        if e.get("event") == "span" and e.get("name") == "batch.chain"
+    ]
+    assert len(chain_spans) == 1
+    chain_s = chain_spans[0]["duration_s"]
+
+    trials = len(batched.records)
+    marginal_s = max(batched_s - chain_s, 1e-9) / trials
+    per_trial_naive_s = naive_s / trials
+    decision = choose_executor(trials, jobs=1, batchable=True)
+
+    benchmark.extra_info["naive_s"] = round(naive_s, 3)
+    benchmark.extra_info["batched_s"] = round(batched_s, 3)
+    benchmark.extra_info["chain_s"] = round(chain_s, 3)
+    benchmark.extra_info["speedup"] = round(naive_s / batched_s, 2)
+    benchmark.extra_info["per_trial_naive_s"] = round(per_trial_naive_s, 4)
+    benchmark.extra_info["per_trial_batched_marginal_s"] = round(
+        marginal_s, 4
+    )
+    benchmark.extra_info["per_trial_speedup"] = round(
+        per_trial_naive_s / marginal_s, 2
+    )
+    benchmark.extra_info["trials"] = trials
+    benchmark.extra_info["warm_groups"] = batched.stats["warm_groups"]
+    benchmark.extra_info["executor"] = decision.as_dict()
+
+    # Whole-sweep floor (sharing-bounded, see module docstring) and the
+    # vectorization target on the marginal per-trial cost.
+    assert batched_s * 3 <= naive_s, (
+        f"batched sweep {batched_s:.2f}s vs naive {naive_s:.2f}s: "
+        "below the 3x whole-sweep floor"
+    )
+    assert marginal_s * 10 <= per_trial_naive_s, (
+        f"batched marginal {marginal_s * 1e3:.1f}ms/trial vs naive "
+        f"{per_trial_naive_s * 1e3:.1f}ms/trial: below the 10x "
+        "vectorization target"
+    )

@@ -1,0 +1,45 @@
+"""Trial-major batched execution of the analog chain (DESIGN.md §14).
+
+The scalar chain runs one trial at a time through Python-dispatched
+stages; a sweep's homogeneous trial groups leave most of that dispatch
+(FFT plans, window tables, filter taps, LO synthesis) re-done N times.
+This package re-cuts the loop nest trial-major:
+
+* :mod:`repro.batch.kernels` - stacked ndarray kernels for the hot
+  stages (scatter deposit, pulse convolution, mix, decimate, the
+  union-of-positions STFT), each provably bit-identical per row to its
+  scalar counterpart and chunked to bound peak memory.
+* :mod:`repro.batch.chain` - :func:`render_captures_batched`: resolve N
+  trials' captures through the layered chain cache with each distinct
+  node computed exactly once, grouped through the kernels.
+* :mod:`repro.batch.runner` - :func:`run_trials_batched`: the
+  batched-serial sweep executor producing records bit-identical to the
+  scalar engine's (schema, decoded bits, RNG digests, trace stream).
+"""
+
+from .chain import ChainRequest, ResolvedCapture, render_captures_batched
+from .kernels import (
+    CHUNK_BYTES,
+    EnvelopeRequest,
+    batched_band_energy,
+    batched_bincount,
+    batched_convolve_full,
+    batched_decimate,
+    batched_mix,
+)
+from .runner import run_trials_batched, warm_map
+
+__all__ = [
+    "CHUNK_BYTES",
+    "ChainRequest",
+    "EnvelopeRequest",
+    "ResolvedCapture",
+    "batched_band_energy",
+    "batched_bincount",
+    "batched_convolve_full",
+    "batched_decimate",
+    "batched_mix",
+    "render_captures_batched",
+    "run_trials_batched",
+    "warm_map",
+]

@@ -1,0 +1,567 @@
+"""Trial-major resolution of the analog chain for a batch of trials.
+
+:func:`render_captures_batched` is the batched counterpart of
+:func:`repro.chain.render_capture` for N trials at once.  It walks the
+same layered key chain (power -> burst -> dither -> emit -> capture),
+but *across the whole batch*: every distinct stage node is probed once,
+the missing nodes of each layer are computed together - grouped through
+the trial-major kernels of :mod:`repro.batch.kernels` - and members
+share the node's value and RNG exit state exactly as a cache hit would
+(deduplication is a virtual hit: same key, same bytes, same exit
+state).
+
+Observability parity is part of the bit-identity contract.  The scalar
+engine's traces and metrics are pinned by tests and recorded baselines,
+so this module emits the *same* stage spans (one per computed node,
+with the same attrs and RNG digests), the same ``stage`` hit events
+where the scalar path would replay a cache hit, the same metric taps
+the same number of times, and the same ``sweep.warm`` events /
+``sweep.group`` spans for the planner's warm nodes.  The only additions
+are the ``batch.*`` spans and metrics, which no baseline pins.
+
+The replay rule that makes hit events line up: a consumer emits a
+``stage`` hit for a lower node iff that node came from the cache or is
+*shared* (a planner warm node) - an unshared node is computed "inline"
+on behalf of its sole consumer, which is how the scalar chain
+attributes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..chain import (
+    _stage_hit,
+    _stage_span,
+    tuned_frequency_hz,
+)
+from ..exec.timing import stage
+from ..obs.metrics import (
+    tap_activity,
+    tap_bursts,
+    tap_capture,
+    tap_emission,
+    tap_propagation,
+)
+from ..obs.trace import key_prefix, span, trace_event
+from ..power.pmu import PMU
+from ..sdr.rtlsdr import RtlSdrV3
+from ..types import IQCapture
+from ..vrm.buck import BuckConverter
+from ..vrm.emission import EmissionModel
+from ..vrm.vid import VidInterface
+from .kernels import (
+    batched_bincount,
+    batched_convolve_full,
+    batched_decimate,
+    batched_mix,
+)
+
+
+@dataclass
+class ChainRequest:
+    """One trial's chain inputs, with the RNG as a state (not a live
+    generator), so a request is inert until its node computes."""
+
+    machine: object
+    activity: object
+    scenario: object
+    profile: object
+    allow_c_states: bool
+    allow_p_states: bool
+    vrm_dithering: object
+    keys: object  # repro.chain.ChainKeys
+    entry_state: dict
+
+
+@dataclass
+class ResolvedCapture:
+    """What one request gets back: the capture, where it came from
+    (``cache`` / ``computed``), and the chain's RNG exit state."""
+
+    capture: IQCapture
+    key: Optional[str]
+    source: str
+    exit_state: dict
+
+
+class _Node:
+    """One distinct stage node during batch resolution."""
+
+    __slots__ = ("key", "req", "source", "value", "exit_state")
+
+    def __init__(self, key, req):
+        self.key = key
+        self.req = req
+        self.source: Optional[str] = None  # "cache" | "computed"
+        self.value = None
+        self.exit_state: Optional[dict] = None
+
+
+def _generator(state: dict) -> np.random.Generator:
+    rng = np.random.default_rng(0)
+    rng.bit_generator.state = state
+    return rng
+
+
+def _probe(cache, node: _Node) -> bool:
+    if cache is None:
+        return False
+    hit = cache.get(node.key)
+    if hit is None:
+        return False
+    node.value, node.exit_state = hit
+    node.source = "cache"
+    return True
+
+
+def _put(cache, node: _Node) -> None:
+    if cache is not None:
+        cache.put(node.key, (node.value, node.exit_state))
+
+
+def _replays(node: Optional[_Node], warmed: Mapping[str, int]) -> bool:
+    """Does a consumer replay this lower node as a hit event?
+
+    True when the scalar path would have found it in the cache: either
+    it really was cached, or it is a shared (warmed) node the scalar
+    warm phase computes before any consumer runs.
+    """
+    if node is None:
+        return False
+    return node.source == "cache" or node.key in warmed
+
+
+def render_captures_batched(
+    requests: Sequence[ChainRequest],
+    warmed: Optional[Mapping[str, int]] = None,
+    emit_warm_events: bool = False,
+) -> List[ResolvedCapture]:
+    """Resolve every request's capture, computing each distinct stage
+    node exactly once and batching each layer's misses through the
+    trial-major kernels.
+
+    Parameters
+    ----------
+    requests:
+        The batch.  Requests sharing a stage key must (by key
+        construction) agree on that stage's inputs and RNG entry state.
+    warmed:
+        ``{key: fan_out}`` of the planner's warm nodes (shared
+        vrm/emission/capture nodes with a pending member).  These are
+        force-resolved even when a higher layer hits, and each gets a
+        ``sweep.group`` span - matching the scalar engine's warm phase.
+    emit_warm_events:
+        Also emit the per-stage ``sweep.warm`` trace events (the
+        engine's warm-phase announcements).
+    """
+    from ..exec.cache import get_chain_cache
+
+    warmed = dict(warmed or {})
+    cache = get_chain_cache()
+
+    with span("batch.chain", {"requests": len(requests)}):
+        return _resolve(requests, warmed, emit_warm_events, cache)
+
+
+def _resolve(requests, warmed, emit_warm_events, cache):
+    # ---- layer tables: one node per distinct key ----------------------
+    captures: Dict[str, _Node] = {}
+    emissions: Dict[str, _Node] = {}
+    dithers: Dict[str, _Node] = {}
+    bursts: Dict[str, _Node] = {}
+
+    def node_for(table, key, req):
+        if key not in table:
+            table[key] = _Node(key, req)
+        return table[key]
+
+    for req in requests:
+        if req.keys.capture is None:
+            raise ValueError("batched rendering needs a scenario per trial")
+        node_for(captures, req.keys.capture, req)
+
+    # ---- probe top-down, seeding lower layers from misses -------------
+    for node in captures.values():
+        _probe(cache, node)
+
+    def want_emission(req):
+        node = node_for(emissions, req.keys.emit, req)
+        return node
+
+    def want_bursts_chain(req):
+        # Burst (and optional dither) nodes an emission compute needs.
+        if req.vrm_dithering is not None:
+            node_for(dithers, req.keys.dither, req)
+        node_for(bursts, req.keys.burst, req)
+
+    for node in captures.values():
+        if node.source is None:
+            want_emission(node.req)
+    # The planner's warm nodes are force-resolved at their own layer,
+    # exactly as the scalar warm phase runs each one regardless of what
+    # higher layers have cached.
+    for req in requests:
+        if req.keys.emit in warmed:
+            want_emission(req)
+        if req.keys.burst in warmed:
+            node_for(bursts, req.keys.burst, req)
+
+    for node in emissions.values():
+        if not _probe(cache, node) and node.source is None:
+            want_bursts_chain(node.req)
+    for node in dithers.values():
+        if not _probe(cache, node):
+            node_for(bursts, node.req.keys.burst, node.req)
+    for node in bursts.values():
+        _probe(cache, node)
+
+    # ---- vrm phase: compute missing burst nodes -----------------------
+    if emit_warm_events:
+        _warm_announce("vrm", bursts, warmed)
+    table_memo: Dict[tuple, object] = {}
+
+    def power_table(machine, allow_c, allow_p):
+        memo_key = (id(machine), allow_c, allow_p)
+        if memo_key not in table_memo:
+            table_memo[memo_key] = machine.power_table(
+                allow_c=allow_c, allow_p=allow_p
+            )
+        return table_memo[memo_key]
+
+    vid = VidInterface()
+    for node in bursts.values():
+        if node.source is not None:
+            continue
+        req = node.req
+        rng = _generator(req.entry_state)
+        k_power = req.keys.power if cache is not None else None
+        k_burst = node.key if cache is not None else None
+        power_hit = cache.get(req.keys.power) if cache is not None else None
+        if power_hit is not None:
+            power_trace, state_after = power_hit
+            rng.bit_generator.state = state_after
+            _stage_hit("pmu", req.keys.power, rng)
+        else:
+            with stage("pmu"), _stage_span("pmu", k_power, rng):
+                table = power_table(
+                    req.machine, req.allow_c_states, req.allow_p_states
+                )
+                pmu = PMU(
+                    table,
+                    governor=req.machine.governor(table, req.profile),
+                    rng=rng,
+                )
+                power_trace = pmu.run(req.activity)
+            if cache is not None:
+                cache.put(
+                    req.keys.power, (power_trace, rng.bit_generator.state)
+                )
+        with stage("vrm"), _stage_span("vrm", k_burst, rng):
+            table = power_table(
+                req.machine, req.allow_c_states, req.allow_p_states
+            )
+            load = power_trace.current_draw(table.current_a)
+            requested_v = power_trace.voltage(table.voltage_v)
+            realized_v = vid.apply(requested_v)
+            buck = BuckConverter(req.machine.buck_design(req.profile), rng=rng)
+            node.value = buck.simulate(load, realized_v)
+        node.exit_state = rng.bit_generator.state
+        node.source = "computed"
+        _put(cache, node)
+    if emit_warm_events:
+        _warm_groups("vrm", bursts, warmed)
+
+    # ---- dither phase -------------------------------------------------
+    for node in dithers.values():
+        if node.source is not None:
+            continue
+        req = node.req
+        burst_node = bursts[req.keys.burst]
+        rng = _generator(burst_node.exit_state)
+        if _replays(burst_node, warmed):
+            _stage_hit("vrm", burst_node.key, rng)
+        k_dither = node.key if cache is not None else None
+        with stage("dither"), _stage_span("dither", k_dither, rng):
+            node.value = req.vrm_dithering.apply(
+                burst_node.value, rng, time_scale=req.profile.time_scale
+            )
+        node.exit_state = rng.bit_generator.state
+        node.source = "computed"
+        _put(cache, node)
+
+    # ---- emission phase: per-node deposits, grouped synthesis ---------
+    if emit_warm_events:
+        _warm_announce("emission", emissions, warmed)
+    _compute_emissions(emissions, dithers, bursts, warmed, cache)
+    if emit_warm_events:
+        _warm_groups("emission", emissions, warmed)
+
+    # ---- capture phase: per-node noise/propagation, grouped mixing ----
+    if emit_warm_events:
+        _warm_announce("capture", captures, warmed)
+    _compute_captures(captures, emissions, warmed, cache)
+    if emit_warm_events:
+        _warm_groups("capture", captures, warmed)
+
+    return [
+        ResolvedCapture(
+            capture=captures[req.keys.capture].value,
+            key=req.keys.capture if cache is not None else None,
+            source=captures[req.keys.capture].source,
+            exit_state=captures[req.keys.capture].exit_state,
+        )
+        for req in requests
+    ]
+
+
+def _compute_emissions(emissions, dithers, bursts, warmed, cache):
+    """Synthesize every missing emission node: deposits per node (with
+    the scalar ``emission`` span and taps), then one grouped bincount
+    per wave length and one grouped convolution per pulse kernel."""
+    pending = [n for n in emissions.values() if n.source is None]
+    if not pending:
+        return
+    jobs = []  # (node, rng, bursts, emitter)
+    for node in pending:
+        req = node.req
+        if req.vrm_dithering is not None:
+            lower = dithers[req.keys.dither]
+            lower_stage = "dither"
+        else:
+            lower = bursts[req.keys.burst]
+            lower_stage = "vrm"
+        rng = _generator(lower.exit_state)
+        if _replays(lower, warmed):
+            _stage_hit(lower_stage, lower.key, rng)
+        jobs.append(
+            (
+                node,
+                rng,
+                lower.value,
+                EmissionModel(field_gain=req.machine.emission_strength),
+            )
+        )
+
+    # Per-node: the scalar emission span, taps, and deposit arithmetic.
+    deposit_groups: Dict[int, list] = {}  # wave length -> [(node, idx, dep)]
+    convolve_groups: Dict[tuple, list] = {}  # (len, kernel) -> [node]
+    kernels: Dict[tuple, np.ndarray] = {}
+    waves: Dict[str, np.ndarray] = {}
+    for node, rng, train, emitter in jobs:
+        req = node.req
+        sample_rate = req.profile.rf_sample_rate_hz
+        if sample_rate <= 0:
+            raise ValueError("sample rate must be positive")
+        k_emit = node.key if cache is not None else None
+        with stage("emission"), span(
+            "emission",
+            {
+                "cache": "off" if k_emit is None else "miss",
+                "key": key_prefix(k_emit),
+            },
+        ):
+            tap_bursts(train)
+            n_samples = int(round(train.duration * sample_rate))
+            length = max(n_samples, 1)
+            if train.count == 0:
+                waves[node.key] = np.zeros(length)
+                continue
+            width_s = emitter.pulse_width_fraction * train.switching_period
+            nominal_v = max(np.median(train.voltages), 1e-9)
+            weights = (
+                emitter.field_gain
+                * (train.charges / width_s)
+                * (train.voltages / nominal_v)
+            )
+            positions = train.times * sample_rate
+            base = np.floor(positions).astype(np.int64)
+            frac = positions - base
+            interior = (base >= 0) & (base < n_samples - 1)
+            last = base == n_samples - 1
+            indices = np.concatenate(
+                (base[interior], base[interior] + 1, base[last])
+            )
+            deposits = np.concatenate(
+                (
+                    weights[interior] * (1.0 - frac[interior]),
+                    weights[interior] * frac[interior],
+                    weights[last],
+                )
+            )
+            deposit_groups.setdefault(length, []).append(
+                (node, indices, deposits)
+            )
+            kernel = emitter.pulse_kernel(
+                sample_rate, train.switching_period
+            )
+            if kernel.size > 1:
+                group_key = (length, kernel.tobytes())
+                kernels[group_key] = kernel
+                convolve_groups.setdefault(group_key, []).append(node)
+            # kernel.size == 1: the deposited wave is final.
+
+    # Grouped scatter: one bincount per wave length.
+    for length, members in deposit_groups.items():
+        stack = batched_bincount(
+            [idx for _, idx, _ in members],
+            [dep for _, _, dep in members],
+            length,
+        )
+        for row, (node, _, _) in zip(stack, members):
+            waves[node.key] = row
+
+    # Grouped pulse shaping: one broadcast convolution per kernel.
+    for group_key, members in convolve_groups.items():
+        length, _ = group_key
+        stack = np.stack([waves[node.key] for node in members])
+        shaped = batched_convolve_full(stack, kernels[group_key], length)
+        for row, node in zip(shaped, members):
+            waves[node.key] = row
+
+    for node, rng, _, _ in jobs:
+        node.value = waves[node.key]
+        # Synthesis draws nothing: the exit state is the entry state,
+        # exactly what the scalar path stores.
+        node.exit_state = rng.bit_generator.state
+        node.source = "computed"
+        tap_emission(node.value)
+        _put(cache, node)
+
+
+def _compute_captures(captures, emissions, warmed, cache):
+    """Digitise every missing capture node: noise and propagation per
+    node (sequential RNG), then grouped mix + decimation, then the AGC
+    and quantiser per node."""
+    pending = [n for n in captures.values() if n.source is None]
+    if not pending:
+        return
+    groups: Dict[tuple, list] = {}  # downconvert params -> [(node, row)]
+    rngs: Dict[str, np.random.Generator] = {}
+    sdrs: Dict[str, RtlSdrV3] = {}
+    for node in pending:
+        req = node.req
+        emit_node = emissions[req.keys.emit]
+        rng = _generator(emit_node.exit_state)
+        # render_emission's entry tap, which every scalar capture
+        # compute passes through.
+        tap_activity(req.activity)
+        if _replays(emit_node, warmed):
+            _stage_hit("emission", emit_node.key, rng)
+            tap_emission(emit_node.value)
+        wave = emit_node.value
+        k_capture = node.key if cache is not None else None
+        rf_rate = req.profile.rf_sample_rate_hz
+        with stage("propagation"), _stage_span(
+            "propagation", k_capture, rng
+        ):
+            antenna_v = req.scenario.apply(wave, rf_rate, rng)
+            tap_propagation(wave, antenna_v, req.scenario)
+        sdr = RtlSdrV3(sample_rate=req.profile.sdr_sample_rate_hz)
+        factor = rf_rate / sdr.sample_rate
+        if abs(factor - round(factor)) > 1e-6:
+            raise ValueError(
+                f"input rate {rf_rate} is not an integer multiple of "
+                f"device rate {sdr.sample_rate}"
+            )
+        factor = int(round(factor))
+        center = tuned_frequency_hz(req.machine, req.profile)
+        with stage("sdr"), _stage_span("sdr", k_capture, rng):
+            # The SDR's only draw; mixing, decimation and the AGC are
+            # deterministic, so deferring them into the grouped kernels
+            # leaves this span's RNG digest scalar-identical.
+            noisy = antenna_v + sdr.noise_floor * rng.standard_normal(
+                antenna_v.size
+            )
+        offset_hz = center * sdr.ppm_error * 1e-6
+        rngs[node.key] = rng
+        sdrs[node.key] = sdr
+        groups.setdefault(
+            (
+                noisy.size,
+                rf_rate,
+                center,
+                offset_hz,
+                factor,
+                sdr.sample_rate,
+            ),
+            [],
+        ).append((node, noisy))
+
+    for (size, rf_rate, center, offset_hz, factor, out_rate), members in (
+        groups.items()
+    ):
+        # Chunk the group so the complex mixed stack stays bounded; row
+        # independence makes any chunking bit-identical.
+        per = max((64 << 20) // max(size * 48, 1), 1)
+        for lo in range(0, len(members), per):
+            chunk = members[lo : lo + per]
+            stack = np.stack([row for _, row in chunk])
+            baseband = batched_mix(stack, rf_rate, center, offset_hz)
+            baseband = batched_decimate(baseband, factor)
+            for row, (node, _) in zip(baseband, chunk):
+                sdr = sdrs[node.key]
+                rng = rngs[node.key]
+                quantised = sdr._agc_and_quantise(row, rng)
+                node.value = IQCapture(
+                    samples=quantised.astype(np.complex64),
+                    sample_rate=sdr.sample_rate,
+                    center_frequency=center,
+                )
+                node.exit_state = rng.bit_generator.state
+                node.source = "computed"
+                tap_capture(node.value, sdr.bits)
+                _put(cache, node)
+
+
+# ---------------------------------------------------------------------------
+# Warm-phase parity
+
+
+def _warm_nodes_for(table, warmed):
+    return [node for node in table.values() if node.key in warmed]
+
+
+def _warm_announce(stage_name, table, warmed):
+    nodes = _warm_nodes_for(table, warmed)
+    if nodes:
+        trace_event("sweep.warm", stage=stage_name, groups=len(nodes))
+
+
+def _warm_groups(stage_name, table, warmed):
+    """Emit one ``sweep.group`` span per warm node of this stage, with
+    the scalar warm worker's cache-hit replays inside.
+
+    A node the batch just computed gets an (almost) empty span - its
+    compute spans were already emitted by the stage phase, exactly as
+    the scalar ``_warm_node``'s nested stage spans are separate flat
+    events.  A node served from cache replays the hit events/taps its
+    scalar warm would have emitted.
+    """
+    for node in _warm_nodes_for(table, warmed):
+        with span(
+            "sweep.group",
+            {
+                "stage": stage_name,
+                "key": key_prefix(node.key),
+                "fan_out": warmed[node.key],
+            },
+        ):
+            rng = _generator(node.exit_state)
+            if stage_name == "emission":
+                # render_emission taps the activity on entry, hit or
+                # miss alike.
+                tap_activity(node.req.activity)
+            if node.source == "cache":
+                if stage_name == "vrm":
+                    _stage_hit("vrm", node.key, rng)
+                elif stage_name == "emission":
+                    _stage_hit("emission", node.key, rng)
+                    tap_emission(node.value)
+                elif stage_name == "capture":
+                    _stage_hit("sdr", node.key, rng)
+                    tap_activity(node.req.activity)
+                    tap_capture(node.value, adc_bits=8)

@@ -1,0 +1,303 @@
+"""Trial-major vectorized kernels for the hot chain stages.
+
+Every kernel here is a *stacking* of its scalar counterpart: N
+independent trials' arrays are laid out trial-major (axis 0 = trial,
+axis 1 = sample) and pushed through one numpy/scipy call instead of N.
+The win is not algorithmic - it is amortising FFT plans, window tables,
+filter taps and Python dispatch over the whole batch, exactly the
+population-major idiom the sweep's homogeneous trial groups expose.
+
+Bit-identity discipline (the non-negotiable from ISSUE 6): each kernel
+is only allowed transformations that are provably element-identical to
+the scalar path -
+
+* ``scipy.signal.fftconvolve(stack, kern[None, :], axes=-1)`` computes
+  each row with the same FFT length and the same complex arithmetic as
+  the per-row call, so rows match bit-for-bit (pinned by tests);
+* a flattened offset ``np.bincount`` performs the identical in-order
+  per-bin float accumulation as N separate bincounts;
+* framing via ``sliding_window_view`` + advanced indexing selects the
+  same windows as hop-slicing, and a row-subset FFT equals the same
+  rows of the full FFT.
+
+Row independence also makes every kernel chunk-invariant, so stacks are
+processed in ~:data:`CHUNK_BYTES` blocks to bound peak memory without
+changing a single output bit.
+
+Observability: each kernel runs under a ``batch.kernel`` span and feeds
+the ``batch.kernel.*`` metrics (batch size, bytes moved, seconds).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+from scipy import signal as sps
+
+from ..dsp.stft import Spectrogram, frame_count, frame_times
+from ..dsp.windows import get_window
+from ..obs.metrics import tap_batch_kernel
+from ..obs.trace import span
+
+#: Target upper bound for one chunk of stacked rows moving through an
+#: FFT-based kernel.  Chunking along the trial axis is bit-safe (rows
+#: are independent); this only bounds peak memory.
+CHUNK_BYTES = 64 << 20
+
+
+def _row_chunks(n_rows: int, row_bytes: int) -> List[Tuple[int, int]]:
+    """Split ``n_rows`` into contiguous (start, stop) chunks of roughly
+    ``CHUNK_BYTES`` each (always at least one row per chunk)."""
+    if n_rows <= 0:
+        return []
+    per = max(int(CHUNK_BYTES // max(row_bytes, 1)), 1)
+    return [(lo, min(lo + per, n_rows)) for lo in range(0, n_rows, per)]
+
+
+def _kernel_span(name: str, batch: int, bytes_moved: int):
+    return span(
+        "batch.kernel",
+        {"kernel": name, "batch": batch, "bytes": int(bytes_moved)},
+    )
+
+
+def batched_bincount(
+    indices: Sequence[np.ndarray],
+    deposits: Sequence[np.ndarray],
+    length: int,
+) -> np.ndarray:
+    """N scatter-accumulations onto equal-length grids in one pass.
+
+    Equivalent to ``np.bincount(idx_i, weights=dep_i, minlength=length)``
+    per row: offsetting row ``i``'s indices by ``i * length`` and
+    binning into a flattened ``(N * length,)`` grid performs the same
+    in-order per-bin accumulation, because bins of different rows never
+    alias.  Rows with empty index sets come back all-zero, matching the
+    scalar guard.
+    """
+    n = len(indices)
+    out = np.zeros((n, length))
+    flat_parts = [
+        idx.astype(np.int64) + i * length
+        for i, idx in enumerate(indices)
+        if idx.size
+    ]
+    if not flat_parts:
+        return out
+    started = time.perf_counter()
+    with _kernel_span("bincount", n, out.nbytes):
+        flat_idx = np.concatenate(flat_parts)
+        flat_dep = np.concatenate([d for d in deposits if d.size])
+        out = np.bincount(
+            flat_idx, weights=flat_dep, minlength=n * length
+        ).reshape(n, length)
+    tap_batch_kernel(
+        "bincount", n, out.nbytes, time.perf_counter() - started
+    )
+    return out
+
+
+def batched_convolve_full(
+    stack: np.ndarray, kernel: np.ndarray, out_len: int
+) -> np.ndarray:
+    """Row-wise ``fftconvolve(row, kernel)[:out_len]`` (full mode).
+
+    The scalar emission synthesis truncates the full convolution back to
+    the wave length; broadcasting the kernel over the stacked rows uses
+    the same FFT size per row, so each row is bit-identical.
+    """
+    started = time.perf_counter()
+    row_bytes = (stack.shape[1] + kernel.size) * 16
+    out = np.empty((stack.shape[0], out_len))
+    with _kernel_span("convolve", stack.shape[0], stack.nbytes):
+        for lo, hi in _row_chunks(stack.shape[0], row_bytes):
+            out[lo:hi] = sps.fftconvolve(
+                stack[lo:hi], kernel[None, :], axes=-1
+            )[:, :out_len]
+    tap_batch_kernel(
+        "convolve", stack.shape[0], stack.nbytes, time.perf_counter() - started
+    )
+    return out
+
+
+def batched_mix(
+    stack: np.ndarray,
+    sample_rate: float,
+    center_frequency: float,
+    oscillator_offset_hz: float,
+) -> np.ndarray:
+    """Row-wise :func:`repro.sdr.frontend.mix_to_baseband`.
+
+    All rows share (rate, LO frequency), so the local oscillator is
+    synthesised once and broadcast; ``float64 row * complex LO`` is the
+    identical per-element product as the scalar call.
+    """
+    if sample_rate <= 0:
+        raise ValueError("sample rate must be positive")
+    started = time.perf_counter()
+    with _kernel_span("mix", stack.shape[0], stack.nbytes):
+        n = np.arange(stack.shape[1])
+        lo_freq = center_frequency + oscillator_offset_hz
+        lo = np.exp(-2j * np.pi * lo_freq * n / sample_rate)
+        out = stack.astype(np.float64) * lo[None, :]
+    tap_batch_kernel(
+        "mix", stack.shape[0], stack.nbytes, time.perf_counter() - started
+    )
+    return out
+
+
+def batched_decimate(
+    stack: np.ndarray, factor: int, numtaps: int = 129
+) -> np.ndarray:
+    """Row-wise :func:`repro.sdr.frontend.decimate`.
+
+    One firwin design and one broadcast same-mode fftconvolve replace N
+    filter builds and N convolutions; each row's FFT length matches the
+    scalar call, so the filtered samples are bit-identical.
+    """
+    if factor < 1:
+        raise ValueError("decimation factor must be >= 1")
+    if factor == 1:
+        return stack
+    started = time.perf_counter()
+    taps = sps.firwin(numtaps, 0.8 / factor)
+    row_bytes = (stack.shape[1] + numtaps) * 32
+    out = np.empty(
+        (stack.shape[0], len(range(0, stack.shape[1], factor))),
+        dtype=complex,
+    )
+    with _kernel_span("decimate", stack.shape[0], stack.nbytes):
+        for lo, hi in _row_chunks(stack.shape[0], row_bytes):
+            filtered = sps.fftconvolve(
+                stack[lo:hi], taps[None, :], mode="same", axes=-1
+            )
+            out[lo:hi] = filtered[:, ::factor]
+    tap_batch_kernel(
+        "decimate", stack.shape[0], stack.nbytes, time.perf_counter() - started
+    )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Union-of-positions STFT: many (hop, bins) requests over one capture
+
+
+class EnvelopeRequest:
+    """One Eq. 1 envelope wanted from a shared capture.
+
+    ``fft_size`` and ``window`` are fixed per batch (they set the frame
+    contents); ``hop`` and ``bins`` vary per request.
+    """
+
+    __slots__ = ("hop", "bins", "n_frames")
+
+    def __init__(self, hop: int, bins: np.ndarray, n_frames: int):
+        self.hop = hop
+        self.bins = bins
+        self.n_frames = n_frames
+
+
+def batched_band_energy(
+    samples: np.ndarray,
+    fft_size: int,
+    window: str,
+    requests: Sequence[EnvelopeRequest],
+) -> List[np.ndarray]:
+    """Serve N band-energy envelopes from one capture with one FFT sweep.
+
+    Requests with different hops sample overlapping frame-start grids
+    (hop 16 contains hop 32 contains hop 64 ...); the kernel FFTs the
+    *union* of all requested frame positions exactly once and gathers
+    each request's rows back out.  Windowing and FFT are the very calls
+    the scalar :func:`repro.core.acquisition.acquire` makes; instead of
+    fftshifting and taking ``abs`` of every spectrum, each request's
+    (few) bins are index-mapped back to unshifted FFT coordinates and
+    only those columns are touched - ``abs`` commutes with indexing and
+    the column order (hence the pairwise sum) is preserved, so each
+    envelope is bit-identical to its solo run.
+    """
+    started = time.perf_counter()
+    positions = [
+        np.arange(r.n_frames, dtype=np.int64) * r.hop for r in requests
+    ]
+    union = (
+        np.unique(np.concatenate(positions))
+        if positions
+        else np.empty(0, dtype=np.int64)
+    )
+    outs = [np.zeros(r.n_frames) for r in requests]
+    if union.size == 0:
+        return outs
+    win = get_window(window, fft_size)
+    frames = sliding_window_view(samples, fft_size)
+    gathers = [np.searchsorted(union, pos) for pos in positions]
+    # The scalar path fftshifts before indexing bins; mapping the bins
+    # into unshifted coordinates instead lets each block skip the
+    # full-spectrum shift copy and |.| pass.
+    mapped = [
+        (np.asarray(r.bins, dtype=np.int64) - fft_size // 2) % fft_size
+        for r in requests
+    ]
+    row_bytes = fft_size * 16 * 2  # complex frame + spectrum
+    bytes_moved = union.size * fft_size * 16
+    with _kernel_span("stft", len(requests), bytes_moved):
+        for lo, hi in _row_chunks(union.size, row_bytes):
+            spectra = np.fft.fft(frames[union[lo:hi]] * win, axis=1)
+            for req, gather, cols, out in zip(
+                requests, gathers, mapped, outs
+            ):
+                inside = (gather >= lo) & (gather < hi)
+                if not inside.any():
+                    continue
+                rows = spectra[gather[inside] - lo]
+                out[inside] = np.abs(rows[:, cols]).sum(axis=1)
+    tap_batch_kernel(
+        "stft", len(requests), bytes_moved, time.perf_counter() - started
+    )
+    return outs
+
+
+def spectrogram_axes(
+    fft_size: int, sample_rate: float
+) -> np.ndarray:
+    """The fftshifted complex-input frequency axis of the scalar STFT."""
+    return np.fft.fftshift(np.fft.fftfreq(fft_size, d=1.0 / sample_rate))
+
+
+def empty_spectrogram(
+    fft_size: int, hop: int, sample_rate: float
+) -> Spectrogram:
+    """A magnitudes-free spectrogram carrying only the axes.
+
+    :func:`repro.core.acquisition.harmonic_bins` needs ``frequencies``
+    and ``nearest_bin`` but never touches the magnitudes; this lets the
+    batch path resolve each request's bin set without materialising any
+    spectra.
+    """
+    return Spectrogram(
+        magnitudes=np.empty((0, fft_size)),
+        times=np.empty(0),
+        frequencies=spectrogram_axes(fft_size, sample_rate),
+        hop=hop,
+        fft_size=fft_size,
+        sample_rate=sample_rate,
+    )
+
+
+def check_frames(n_samples: int, fft_size: int, hop: int) -> int:
+    """Frame count with the scalar :func:`repro.dsp.stft.stft` error."""
+    n_frames = frame_count(n_samples, fft_size, hop)
+    if n_frames == 0:
+        raise ValueError(
+            f"need at least fft_size={fft_size} samples, got {n_samples}"
+        )
+    return n_frames
+
+
+def envelope_times(
+    n_frames: int, fft_size: int, hop: int, sample_rate: float
+) -> np.ndarray:
+    return frame_times(0, n_frames, fft_size, hop, sample_rate)

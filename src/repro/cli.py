@@ -189,6 +189,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the content-addressed chain cache",
     )
     sweep_p.add_argument(
+        "--batch",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="trial-major batched execution: 'auto' (default) lets the "
+        "adaptive executor engage it when one process should do all "
+        "the work, 'on'/'off' force it; records are bit-identical "
+        "either way",
+    )
+    sweep_p.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -410,6 +419,7 @@ def _cmd_sweep(args) -> int:
             results_path=args.results,
             resume=not args.fresh,
             naive=args.naive,
+            batch=args.batch,
         )
         width = max(
             [len(r["label"] or r["trial_id"][:12]) for r in outcome.records]
@@ -424,7 +434,12 @@ def _cmd_sweep(args) -> int:
                 f"{name:<{width}}  {r['ber']:>8.4f}  {r['ip']:>8.4f}  "
                 f"{r['dp']:>8.4f}  {r['tr_bps']:>8.0f}"
             )
-        mode = "naive" if outcome.naive else "engine"
+        if outcome.naive:
+            mode = "naive"
+        elif outcome.stats.get("batch"):
+            mode = "engine+batch"
+        else:
+            mode = "engine"
         print(
             f"{mode}: {outcome.executed} executed, {outcome.resumed} "
             f"resumed in {outcome.elapsed_s:.2f}s; plan shared "

@@ -12,6 +12,12 @@ seed-controlled trials over the analog chain:
   chain intermediates (power-state trace, burst train, emission
   waveform), keyed by a stable hash of everything that determines them,
   including the RNG state on entry.
+* :mod:`repro.exec.executor` - the adaptive :class:`BatchExecutor`:
+  :func:`choose_executor` picks batched-serial / threads / processes
+  from the job shape (task count, array bytes, CPU budget) so callers
+  state *what* to fan out, not *how*.
+* :mod:`repro.exec.shm` - shared-memory transport for large arrays
+  (captures travel to workers as segment tokens, not pickled values).
 * :mod:`repro.exec.timing` - per-stage wall-clock accounting that
   survives the process boundary, so experiment reports can say where
   their time went even when trials ran in workers.
@@ -24,17 +30,32 @@ from .context import (
     get_execution_config,
     set_execution_config,
 )
+from .executor import (
+    BatchExecutor,
+    ExecutorDecision,
+    choose_executor,
+    effective_cpus,
+)
 from .pool import parallel_map
+from .shm import ShmArena, ShmCapture, ShmToken, load_array
 from .timing import collect_timings, merge_timings, record_stage, stage
 
 __all__ = [
+    "BatchExecutor",
     "ChainCache",
     "ExecutionConfig",
+    "ExecutorDecision",
+    "ShmArena",
+    "ShmCapture",
+    "ShmToken",
+    "choose_executor",
     "collect_timings",
+    "effective_cpus",
     "execution_scope",
     "fingerprint",
     "get_chain_cache",
     "get_execution_config",
+    "load_array",
     "merge_timings",
     "parallel_map",
     "record_stage",

@@ -29,10 +29,17 @@ from .context import (
     get_execution_config,
     set_execution_config,
 )
+from .executor import effective_cpus
 from .timing import collect_timings, merge_timings
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Per-task pickle payloads above this are assumed to dwarf the compute
+#: they carry; ``parallel_map`` degrades to serial rather than shuttle
+#: them through the pipe.  Callers with genuinely heavy tasks should
+#: move arrays through :mod:`repro.exec.shm` and pass small tokens.
+_PICKLE_BYTES_CEILING = 1 << 25  # 32 MiB
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -74,6 +81,7 @@ def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     jobs: Optional[int] = None,
+    bytes_hint: int = 0,
 ) -> List[R]:
     """Apply ``fn`` to every item, fanning out over worker processes.
 
@@ -88,14 +96,42 @@ def parallel_map(
         Worker count; None reads the active :class:`ExecutionConfig`.
         ``1`` runs serially in-process with no pickling at all - the
         reference path.
+    bytes_hint:
+        Estimated pickled bytes per task (payload + result).  When the
+        payload dwarfs the compute a fork cannot pay for itself; see
+        the degradation guard below.
 
     Results are returned in input order.  Stage timings recorded inside
     workers are merged into the caller's active collector.
+
+    Single-CPU guard (BENCH_parallel.json pathology): when the host has
+    one effective CPU, fork + pickle overhead cannot be hidden behind
+    concurrency - a pool is strictly slower than the serial reference
+    path, for identical results.  Likewise when ``bytes_hint`` says each
+    task moves tens of megabytes through the pickle pipe.  Both cases
+    degrade to serial with a structured trace event (no warning: the
+    degradation is a correct scheduling decision, not a failure).
     """
     tasks: Sequence[T] = list(items)
     n_jobs = min(resolve_jobs(jobs), max(len(tasks), 1))
     if n_jobs <= 1 or len(tasks) <= 1:
         return [fn(task) for task in tasks]
+    cpus = effective_cpus()
+    if cpus <= 1 or bytes_hint >= _PICKLE_BYTES_CEILING:
+        trace_event(
+            "warning",
+            kind=(
+                "pool-single-cpu" if cpus <= 1 else "pool-pickle-bound"
+            ),
+            jobs=n_jobs,
+            tasks=len(tasks),
+            cpus=cpus,
+            bytes_hint=int(bytes_hint),
+        )
+        # Same span the pool path emits: degradation changes the
+        # scheduling, not the caller-visible trace shape.
+        with span("parallel_map", {"jobs": 1, "tasks": len(tasks)}):
+            return [fn(task) for task in tasks]
     config = get_execution_config()
     try:
         executor = ProcessPoolExecutor(

@@ -1,0 +1,122 @@
+"""Shared-memory transport for large arrays between processes.
+
+Pickling an ``IQCapture`` through a process pool's pipe copies every
+sample twice (serialise + deserialise).  For multi-megabyte captures the
+copy dwarfs the compute being parallelised — the pathology recorded in
+``BENCH_parallel.json``.  This module moves the samples through POSIX
+shared memory instead: the parent :func:`share_array`\\ s the ndarray
+once, ships a tiny :class:`ShmToken` (name + shape + dtype) through the
+pickle pipe, and workers :func:`load_array` a zero-copy view.
+
+Lifetime is parent-managed: tokens are created inside a
+:class:`ShmArena` context manager, which closes and unlinks every
+segment on exit regardless of worker outcome.  Workers only ever
+``close()`` their attach handle (``load_array(copy=True)`` does this
+internally), never ``unlink``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..types import IQCapture
+
+
+@dataclass(frozen=True)
+class ShmToken:
+    """A picklable handle to one ndarray living in shared memory."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class ShmCapture:
+    """A picklable :class:`~repro.types.IQCapture` minus its samples."""
+
+    token: ShmToken
+    sample_rate: float
+    center_frequency: float
+
+    def load(self) -> IQCapture:
+        samples = load_array(self.token, copy=True)
+        return IQCapture(
+            samples=samples,
+            sample_rate=self.sample_rate,
+            center_frequency=self.center_frequency,
+        )
+
+
+class ShmArena:
+    """Owns a set of shared-memory segments for one fan-out.
+
+    Usage::
+
+        with ShmArena() as arena:
+            tokens = [arena.share_capture(c) for c in captures]
+            results = parallel_map(worker, tokens, jobs=n)
+        # all segments closed + unlinked here
+    """
+
+    def __init__(self) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+
+    def share_array(self, array: np.ndarray) -> ShmToken:
+        array = np.ascontiguousarray(array)
+        nbytes = max(int(array.nbytes), 1)
+        seg = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._segments.append(seg)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=seg.buf)
+        view[...] = array
+        return ShmToken(name=seg.name, shape=tuple(array.shape), dtype=str(array.dtype))
+
+    def share_capture(self, capture: IQCapture) -> ShmCapture:
+        return ShmCapture(
+            token=self.share_array(capture.samples),
+            sample_rate=capture.sample_rate,
+            center_frequency=capture.center_frequency,
+        )
+
+    def close(self) -> None:
+        for seg in self._segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> Optional[bool]:
+        self.close()
+        return None
+
+
+def load_array(token: ShmToken, *, copy: bool = True) -> np.ndarray:
+    """Attach to a shared segment and return a private copy of its array.
+
+    The attach handle is closed before returning, so the caller holds an
+    ordinary array and the parent remains free to unlink the segment at
+    any time.  (``copy=False`` is rejected: a zero-copy view would need
+    the attach handle kept alive past this call, which inverts the
+    parent-managed lifetime contract.)
+    """
+    if not copy:
+        raise ValueError("zero-copy views would outlive the attach handle")
+    seg = shared_memory.SharedMemory(name=token.name)
+    try:
+        view = np.ndarray(token.shape, dtype=np.dtype(token.dtype), buffer=seg.buf)
+        return view.copy()
+    finally:
+        seg.close()

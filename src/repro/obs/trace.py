@@ -55,6 +55,10 @@ KEY_PREFIX_LEN = 12
 #: span kind.
 REGISTERED_SPANS = frozenset(
     {
+        "batch.chain",
+        "batch.decode",
+        "batch.execute",
+        "batch.kernel",
         "dither",
         "emission",
         "parallel_map",

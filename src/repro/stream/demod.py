@@ -67,8 +67,15 @@ class StreamingSTFT:
         else:
             self.frequencies = np.fft.rfftfreq(fft_size, d=1.0 / sample_rate)
         dtype = np.complex128 if complex_input else np.float64
-        self._buf = np.empty(0, dtype=dtype)
-        self._buf_start = 0  # global index of _buf[0]
+        # Preallocated growable window buffer: valid samples live at
+        # ``_storage[_off : _off + _len]``.  Appends write in place,
+        # consumption advances ``_off``, and the array is compacted /
+        # doubled only when an append would not fit - so steady-state
+        # chunk pushes reallocate nothing (see :meth:`reserve`).
+        self._storage = np.empty(max(fft_size, 1), dtype=dtype)
+        self._off = 0  # storage index of the first valid sample
+        self._len = 0  # valid sample count
+        self._buf_start = 0  # global index of the first valid sample
         self._received = 0  # total samples pushed
         self._emitted = 0  # complete frames emitted
 
@@ -85,6 +92,45 @@ class StreamingSTFT:
     def n_samples(self) -> int:
         """Samples consumed so far."""
         return self._received
+
+    @property
+    def buffer_capacity(self) -> int:
+        """Current window-buffer capacity in samples."""
+        return int(self._storage.size)
+
+    def reserve(self, n_samples: int) -> None:
+        """Grow the window buffer to hold ``n_samples`` without realloc.
+
+        The stream runner calls this with the source's chunk size (plus
+        the window tail) once the adaptive executor settles on
+        batched-serial chunk service, so per-chunk pushes reuse one
+        buffer instead of reallocating - same floats, fewer copies.
+        """
+        need = int(n_samples)
+        if need <= self._storage.size:
+            return
+        grown = np.empty(max(need, 2 * self._storage.size), self._storage.dtype)
+        grown[: self._len] = self._storage[self._off : self._off + self._len]
+        self._storage = grown
+        self._off = 0
+
+    def _append(self, samples: np.ndarray) -> None:
+        """Stage a chunk into the window buffer, compacting/growing once."""
+        need = self._len + samples.size
+        if self._off + need > self._storage.size:
+            if need <= self._storage.size:
+                # Shift the live tail to the front; no allocation.
+                self._storage[: self._len] = self._storage[
+                    self._off : self._off + self._len
+                ]
+            else:
+                self.reserve(need)
+            self._off = 0
+        lo = self._off + self._len
+        self._storage[lo : lo + samples.size] = samples.astype(
+            self._storage.dtype
+        )
+        self._len = need
 
     def spectrogram_stub(self) -> Spectrogram:
         """A frame-less spectrogram carrying the axes.
@@ -111,7 +157,7 @@ class StreamingSTFT:
         samples = np.asarray(samples)
         first = self._emitted
         if samples.size:
-            self._buf = np.concatenate([self._buf, samples.astype(self._buf.dtype)])
+            self._append(samples)
             self._received += samples.size
         # The next frame starts at the global sample index hop * emitted;
         # count how many complete frames the buffer now covers past it.
@@ -120,10 +166,10 @@ class StreamingSTFT:
         n_new = frame_count(available, self.fft_size, self.hop) if available > 0 else 0
         if n_new == 0:
             return np.empty((0, self.frequencies.size)), first
-        local = next_start - self._buf_start
-        frames = sliding_window_view(self._buf[local:], self.fft_size)[
-            :: self.hop
-        ][:n_new]
+        local = self._off + (next_start - self._buf_start)
+        frames = sliding_window_view(
+            self._storage[local : self._off + self._len], self.fft_size
+        )[:: self.hop][:n_new]
         # Identical arithmetic to the batch stft(): window, FFT, shift,
         # magnitude - on identical float rows, so the outputs match bit
         # for bit regardless of how the stream was chunked.
@@ -136,7 +182,10 @@ class StreamingSTFT:
         self._emitted += n_new
         keep_from = min(self._emitted * self.hop, self._received)
         if keep_from > self._buf_start:
-            self._buf = self._buf[keep_from - self._buf_start :]
+            # Consume in place: advance the offset, never reallocate.
+            delta = keep_from - self._buf_start
+            self._off += delta
+            self._len -= delta
             self._buf_start = keep_from
         return mags, first
 
@@ -164,6 +213,10 @@ class StreamingBandEnergy:
     @property
     def n_frames(self) -> int:
         return self.sstft.n_frames
+
+    def reserve(self, n_samples: int) -> None:
+        """Pre-size the underlying STFT buffer (see :meth:`StreamingSTFT.reserve`)."""
+        self.sstft.reserve(n_samples)
 
     def push(self, samples: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Feed one chunk; returns ``(y_new, times_new)``."""

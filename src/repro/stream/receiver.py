@@ -210,6 +210,10 @@ class StreamingReceiver:
     def n_samples(self) -> int:
         return self._band.sstft.n_samples
 
+    def reserve(self, n_samples: int) -> None:
+        """Pre-size the STFT chunk buffer for reallocation-free pushes."""
+        self._band.reserve(n_samples)
+
     def envelope(self) -> Envelope:
         """The accumulated Eq. 1 envelope (batch-identical, drop-free)."""
         return Envelope(
@@ -452,6 +456,10 @@ class StreamingKeystrokeDetector:
     @property
     def events(self) -> List[KeystrokeEvent]:
         return list(self._events)
+
+    def reserve(self, n_samples: int) -> None:
+        """Pre-size the STFT chunk buffer for reallocation-free pushes."""
+        self._band.reserve(n_samples)
 
     def push_samples(
         self, samples: np.ndarray, now_s: float

@@ -34,6 +34,7 @@ from ..chain import render_bursts, render_emission
 from ..core.align import ChannelMetrics
 from ..dsp.detection import histogram_modes
 from ..exec.context import execution_scope, get_execution_config
+from ..exec.executor import choose_executor
 from ..exec.pool import parallel_map, resolve_jobs
 from ..obs.metrics import tap_sweep
 from ..obs.trace import key_prefix, rng_digest, span, trace_event
@@ -193,6 +194,7 @@ def run_sweep(
     resume: bool = True,
     naive: bool = False,
     jobs: Optional[int] = None,
+    batch: str = "auto",
 ) -> SweepOutcome:
     """Plan and execute a sweep.
 
@@ -212,8 +214,18 @@ def run_sweep(
         baseline the speedup benchmarks compare against).
     jobs:
         Worker count; ``None`` reads the active execution config.
+    batch:
+        ``"auto"`` (default) routes pending trials through the
+        trial-major batched runner (:mod:`repro.batch`) whenever the
+        adaptive executor decides one process should do all the work
+        (single CPU, or fork cost dwarfing compute); multi-CPU hosts
+        keep the process-pool scalar path.  ``"on"`` forces the batched
+        runner, ``"off"`` forces the scalar path.  Records are
+        bit-identical either way.
     """
     started = time.perf_counter()
+    if batch not in ("auto", "on", "off"):
+        raise ValueError(f"batch must be 'auto', 'on' or 'off', got {batch!r}")
     if plan is None:
         plan = plan_sweep(spec)
     store = ResultStore(results_path)
@@ -227,9 +239,28 @@ def run_sweep(
     config = get_execution_config()
     engine = not naive and config.cache_enabled
     warm_groups = 0
+    use_batch = batch == "on"
+    if batch == "auto" and engine and pending:
+        decision = choose_executor(
+            len(pending), jobs=resolve_jobs(jobs), batchable=True
+        )
+        use_batch = decision.mode == "batched-serial"
+    if use_batch and any(tp.keys.capture is None for tp in pending):
+        # Emission-only trials have no capture node to batch.
+        use_batch = False
     with ExitStack() as stack:
-        if not engine:
+        if naive:
             # Reference semantics: every trial owns its full chain.
+            stack.enter_context(execution_scope(cache_enabled=False))
+            use_batch = False
+        elif use_batch:
+            # One process, trial-major: the batched runner warms and
+            # fans out internally (same events, same records).  Lazy
+            # import: repro.batch pulls in this package's siblings.
+            from ..batch.runner import run_trials_batched
+
+            new_records, warm_groups = run_trials_batched(plan, pending)
+        elif not engine:
             stack.enter_context(execution_scope(cache_enabled=False))
         else:
             n_jobs = min(resolve_jobs(jobs), max(len(pending), 1))
@@ -268,7 +299,8 @@ def run_sweep(
                     ],
                     jobs=jobs,
                 )
-        new_records = parallel_map(_execute_trial, pending, jobs=jobs)
+        if not use_batch:
+            new_records = parallel_map(_execute_trial, pending, jobs=jobs)
     for record in new_records:
         store.append(record)
     elapsed = time.perf_counter() - started
@@ -285,6 +317,7 @@ def run_sweep(
         "stages_saved": float(plan.stages_saved),
         "sharing_factor": plan.sharing_factor,
         "warm_groups": float(warm_groups),
+        "batch": 1.0 if use_batch else 0.0,
         "elapsed_s": elapsed,
     }
     tap_sweep(stats)

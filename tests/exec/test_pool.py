@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro.exec.pool as pool_mod
 from repro.exec.context import (
     ExecutionConfig,
     execution_scope,
@@ -9,6 +10,13 @@ from repro.exec.context import (
 )
 from repro.exec.pool import default_jobs, parallel_map, resolve_jobs
 from repro.exec.timing import collect_timings, format_timings, stage
+
+
+@pytest.fixture(autouse=True)
+def multi_cpu(monkeypatch):
+    # These tests exercise the real fork paths; pin the CPU probe so a
+    # single-CPU CI host doesn't trip the batched-serial degradation.
+    monkeypatch.setattr(pool_mod, "effective_cpus", lambda: 2)
 
 
 def _square(x):

@@ -25,6 +25,13 @@ class _BrokenExecutor:
         raise PermissionError("process creation forbidden (test)")
 
 
+@pytest.fixture(autouse=True)
+def multi_cpu(monkeypatch):
+    # The fallback under test is the *pool probe* failing, which needs
+    # the single-CPU degradation guard out of the way first.
+    monkeypatch.setattr(pool_mod, "effective_cpus", lambda: 2)
+
+
 @pytest.fixture
 def broken_pool(monkeypatch):
     monkeypatch.setattr(pool_mod, "ProcessPoolExecutor", _BrokenExecutor)

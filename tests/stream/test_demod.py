@@ -167,3 +167,45 @@ class TestStreamingConvolver:
         conv.finalize()
         with pytest.raises(RuntimeError):
             conv.push(np.ones(2))
+
+
+class TestBufferReuse:
+    """The preallocated window buffer: reuse is invisible in the output."""
+
+    def test_reserved_buffer_never_regrows(self):
+        x = _signal(50_000)
+        batch = stft(x, 1e4, fft_size=128, hop=32)
+        s = StreamingSTFT(1e4, fft_size=128, hop=32)
+        s.reserve(2 * 4096)
+        cap = s.buffer_capacity
+        rows = [s.push(piece)[0] for piece in _chunked(x, [4096])]
+        assert s.buffer_capacity == cap  # compaction, never reallocation
+        got = np.concatenate([r for r in rows if r.size])
+        assert np.array_equal(got, batch.magnitudes)
+
+    def test_unreserved_growth_is_bit_identical(self):
+        x = _signal(9000)
+        batch = stft(x, 1e4, fft_size=64, hop=16)
+        s = StreamingSTFT(1e4, fft_size=64, hop=16)
+        assert s.buffer_capacity == 64  # starts window-sized
+        rows = [s.push(piece)[0] for piece in _chunked(x, [3000])]
+        assert s.buffer_capacity >= 3000  # grew on demand
+        got = np.concatenate([r for r in rows if r.size])
+        assert np.array_equal(got, batch.magnitudes)
+
+    def test_reserve_preserves_pending_tail(self):
+        x = _signal(500)
+        batch = stft(x, 1e4, fft_size=128, hop=32)
+        s = StreamingSTFT(1e4, fft_size=128, hop=32)
+        first = s.push(x[:200])[0]
+        s.reserve(100_000)  # mid-stream growth must carry the tail
+        rest = s.push(x[200:])[0]
+        got = np.concatenate([first, rest])
+        assert np.array_equal(got, batch.magnitudes)
+
+    def test_reserve_noop_when_already_large_enough(self):
+        s = StreamingSTFT(1e4, fft_size=64, hop=16)
+        s.reserve(1024)
+        cap = s.buffer_capacity
+        s.reserve(10)
+        assert s.buffer_capacity == cap
