@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test lint lint-baseline bench bench-parallel bench-sweep bench-vector smoke-batch smoke-parallel smoke-stream smoke-sweep regress regress-record
+.PHONY: test lint lint-baseline bench bench-parallel bench-sweep bench-vector smoke-batch smoke-parallel smoke-scenario smoke-stream smoke-sweep regress regress-record
 
 test:
 	$(PY) -m pytest -x -q
@@ -71,6 +71,16 @@ smoke-parallel:
 # across two workers (shared capture travels by cache key).
 smoke-sweep:
 	$(PY) -m repro sweep receiver-grid --jobs 2
+
+# Quick end-to-end sanity check of the scenario plugin framework: the
+# two related-attack plugins re-run against their committed metric
+# baselines, then the conformance suite over every registered scenario
+# (determinism, order invariance, batch equivalence, chain-key
+# coherence, RNG isolation - see DESIGN.md section 15).
+smoke-scenario:
+	$(PY) -m repro regress --scenario scenario-ichannels-tiny \
+		--scenario scenario-clockmod-tiny
+	$(PY) -m pytest tests/scenario/test_conformance.py -q
 
 # Quick end-to-end sanity check of the streaming receiver: chunked
 # replay with arrival jitter, verified bit-exact against the batch

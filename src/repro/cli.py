@@ -26,6 +26,12 @@ Subcommands
     plan and stops), compute each shared analog prefix exactly once,
     and fan the per-trial tails over the process pool, with resumable
     JSONL results.  ``sweep list`` shows the named presets.
+``scenario <name>``
+    Run a registered scenario plugin (transmitter / power-model /
+    channel / receiver / countermeasure components through the managed
+    lifecycle) and print its records and metrics.  ``scenario list``
+    shows the registry, including the related-attack ports
+    (``ichannels-throttle``, ``clockmod-fsk``).
 ``lint``
     Static determinism & cache-coherence analysis (``repro.lint``):
     seed provenance, wall-clock containment, cache-schema drift, raw
@@ -202,6 +208,57 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write sweep.plan/sweep.group/stage/cache events as JSONL",
+    )
+
+    scenario_p = sub.add_parser(
+        "scenario",
+        help="run a registered scenario plugin ('scenario list' to "
+        "enumerate)",
+    )
+    scenario_p.add_argument(
+        "name",
+        help="registered scenario name, or 'list'",
+    )
+    scenario_p.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the scenario's default seed",
+    )
+    scenario_p.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-weight sizing (slower); default is quick mode",
+    )
+    scenario_p.add_argument(
+        "--batch",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="batched execution policy for sweep-backed scenarios",
+    )
+    scenario_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (0 = all CPUs)",
+    )
+    scenario_p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the chain cache to this directory",
+    )
+    scenario_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed chain cache",
+    )
+    scenario_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write scenario/component span events as JSONL",
     )
 
     lint_p = sub.add_parser(
@@ -449,6 +506,62 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_scenario(args) -> int:
+    import contextlib
+
+    from .exec.context import execution_scope
+    from .exec.pool import default_jobs
+    from .obs.trace import tracing_scope
+    from .scenario import get_scenario, list_scenarios, run_registered
+    from .scenario.registry import scenario_id
+
+    if args.name == "list":
+        for name in list_scenarios():
+            spec = get_scenario(name).spec
+            tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
+            print(f"{name:<20} {spec.title}{tags}")
+        return 0
+    try:
+        info = get_scenario(args.name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    jobs = args.jobs
+    if jobs is not None and jobs < 0:
+        print(f"error: --jobs must be >= 0, got {jobs}", file=sys.stderr)
+        return 2
+    if jobs == 0:
+        jobs = default_jobs()
+    with contextlib.ExitStack() as stack:
+        overrides = {}
+        if jobs is not None:
+            overrides["jobs"] = jobs
+        if args.no_cache:
+            overrides["cache_enabled"] = False
+        if args.cache_dir is not None:
+            overrides["cache_dir"] = args.cache_dir
+        if overrides:
+            stack.enter_context(execution_scope(**overrides))
+        if args.trace:
+            stack.enter_context(tracing_scope(args.trace))
+        outcome = run_registered(
+            args.name,
+            seed=args.seed,
+            quick=not args.full,
+            batch=args.batch,
+        )
+    spec = info.spec
+    print(f"scenario {spec.name!r}: {spec.title}")
+    print(f"  id {scenario_id(spec)[:16]}  seed {outcome.seed}  "
+          f"components: {' -> '.join(outcome.order)}")
+    for record in outcome.records:
+        print(f"  record {record['label']}: digest {record['digest']}")
+    for name in sorted(outcome.metrics):
+        print(f"  {name} = {outcome.metrics[name]:g}")
+    print(f"done in {outcome.elapsed_s:.2f}s")
+    return 0
+
+
 def _cmd_send(args) -> int:
     from .core.coding import bits_to_bytes, bytes_to_bits, hamming_decode
     from .core.sync import strip_header
@@ -649,6 +762,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_regress(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
     if args.command == "lint":
         from .lint.cli import cmd_lint
 

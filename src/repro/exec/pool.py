@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import os
 import warnings
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import ExitStack
 from dataclasses import replace
@@ -40,6 +41,26 @@ R = TypeVar("R")
 #: them through the pipe.  Callers with genuinely heavy tasks should
 #: move arrays through :mod:`repro.exec.shm` and pass small tokens.
 _PICKLE_BYTES_CEILING = 1 << 25  # 32 MiB
+
+#: ExecutionConfig instances (by identity) that already produced the
+#: serial-fallback warning.  A sweep retries the pool once per trial
+#: group, which under a no-fork sandbox used to mean one identical
+#: warning per group; the condition is a property of the environment
+#: for the lifetime of the config, so warn once per config instance
+#: (a new execution scope warns again) and keep only the structured
+#: trace event per occurrence.
+_serial_fallback_warned: "weakref.WeakValueDictionary[int, ExecutionConfig]" = (
+    weakref.WeakValueDictionary()
+)
+
+
+def _first_fallback_for(config: ExecutionConfig) -> bool:
+    """True exactly once per live config instance."""
+    key = id(config)
+    if _serial_fallback_warned.get(key) is config:
+        return False
+    _serial_fallback_warned[key] = config
+    return True
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -143,14 +164,17 @@ def parallel_map(
         # Environments without working process support (restricted
         # sandboxes) degrade to the serial reference path.  Results are
         # identical (tasks own their seeds) but wall-clock is not, so
-        # say so instead of silently eating the requested parallelism.
-        warnings.warn(
-            f"parallel_map: cannot start a process pool ({exc!r}); "
-            f"running {len(tasks)} task(s) serially instead of with "
-            f"jobs={n_jobs}",
-            RuntimeWarning,
-            stacklevel=2,
-        )
+        # say so instead of silently eating the requested parallelism -
+        # but only once per execution config: every call in the same
+        # scope hits the same environmental limitation.
+        if _first_fallback_for(config):
+            warnings.warn(
+                f"parallel_map: cannot start a process pool ({exc!r}); "
+                f"running {len(tasks)} task(s) serially instead of with "
+                f"jobs={n_jobs}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         trace_event(
             "warning",
             kind="pool-serial-fallback",

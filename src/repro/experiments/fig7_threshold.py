@@ -13,7 +13,7 @@ all four), showing the threshold's stability across receiver settings.
 from __future__ import annotations
 
 from ..params import SimProfile, TINY
-from ..sweep import SweepSpec, run_sweep
+from ..sweep import SweepSpec
 from ..sweep.spec import profile_fields
 from ..systems.laptops import DELL_INSPIRON
 from .common import ExperimentResult, register
@@ -56,7 +56,12 @@ def run(
     quick: bool = True,
     seed: int = 0,
 ) -> ExperimentResult:
-    outcome = run_sweep(sweep_spec(profile, quick, seed))
+    from ..scenario.engine import run_components
+    from ..scenario.ports.sweeps import fig7_components
+
+    outcome = run_components(
+        "fig7", fig7_components(profile, quick, seed), seed=seed, quick=quick
+    )
     base = outcome.records[0]["result"]
     lo_mode, hi_mode = base["power_modes"]
     threshold = base["threshold"]
@@ -83,7 +88,7 @@ def run(
     rows.append(
         {
             "quantity": "chain stage runs (plan, 4 receivers)",
-            "value": outcome.plan.planned_stage_runs,
+            "value": int(outcome.metrics["sweep.plan.stage_runs"]),
         }
     )
     return ExperimentResult(

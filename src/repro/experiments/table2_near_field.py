@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..params import SimProfile, TINY
-from ..sweep import SweepSpec, pooled_metrics, run_sweep
+from ..sweep import SweepSpec, pooled_metrics
 from ..sweep.spec import profile_fields
 from ..systems.laptops import TABLE_I
 from .common import ExperimentResult, register
@@ -58,7 +58,12 @@ def run(
     quick: bool = True,
     seed: int = 0,
 ) -> ExperimentResult:
-    outcome = run_sweep(sweep_spec(profile, quick, seed))
+    from ..scenario.engine import run_components
+    from ..scenario.ports.sweeps import table2_components
+
+    outcome = run_components(
+        "table2", table2_components(profile, quick, seed), seed=seed, quick=quick
+    )
     rows = []
     for machine in TABLE_I:
         records = [

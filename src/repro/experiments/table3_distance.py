@@ -19,7 +19,7 @@ from typing import List, Tuple
 import numpy as np
 
 from ..params import SimProfile, TINY
-from ..sweep import SweepSpec, pooled_metrics, run_sweep
+from ..sweep import SweepSpec, pooled_metrics
 from ..sweep.spec import profile_fields
 from ..systems.laptops import DELL_INSPIRON
 from .common import ExperimentResult, register
@@ -74,7 +74,12 @@ def run(
     quick: bool = True,
     seed: int = 0,
 ) -> ExperimentResult:
-    outcome = run_sweep(sweep_spec(profile, quick, seed))
+    from ..scenario.engine import run_components
+    from ..scenario.ports.sweeps import table3_components
+
+    outcome = run_components(
+        "table3", table3_components(profile, quick, seed), seed=seed, quick=quick
+    )
     rows = []
     for label, _, _, paper_tr, paper_ber, _ in TABLE_III_ROWS:
         records = [r for r in outcome.records if r["label"] == label]

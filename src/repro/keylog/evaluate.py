@@ -85,8 +85,16 @@ class KeylogExperiment:
     )
     seed: int = 0
 
-    def type_and_capture(self, text: str):
-        """Simulate typing ``text``; returns (keystrokes, capture)."""
+    def prepare(self, text: str):
+        """Simulate typing ``text`` up to (but not including) the
+        analog chain; returns (keystrokes, activity, scenario, rng).
+
+        The returned ``rng`` is positioned exactly where the chain
+        render expects it, so ``render_capture(machine, activity,
+        scenario, profile, rng)`` reproduces :meth:`type_and_capture`
+        bit for bit.  Scenario resolution draws nothing, so splitting
+        here is draw-order neutral.
+        """
         rng = np.random.default_rng(self.seed)
         model = TypingModel(self.typist, rng)
         keystrokes = model.type_text(text, start_time=0.3)
@@ -113,6 +121,11 @@ class KeylogExperiment:
                 tuned_frequency_hz(self.machine, self.profile),
                 physics_frequency_hz=1.5 * self.machine.vrm_frequency_hz,
             )
+        return keystrokes, activity, scenario, rng
+
+    def type_and_capture(self, text: str):
+        """Simulate typing ``text``; returns (keystrokes, capture)."""
+        keystrokes, activity, scenario, rng = self.prepare(text)
         capture = render_capture(
             self.machine, activity, scenario, self.profile, rng
         )

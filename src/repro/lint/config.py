@@ -44,6 +44,7 @@ class LintConfig:
         ("repro/systems/laptops.py", "Machine"),
         ("repro/em/environment.py", "Scenario"),
         ("repro/countermeasures.py", "VrmDithering"),
+        ("repro/scenario/registry.py", "ScenarioSpec"),
     )
 
     # -- CONC001: raw writes under locked stores ---------------------------

@@ -202,10 +202,38 @@ def _sweep_table2_tiny() -> Dict[str, float]:
         return flatten(registry.snapshot())
 
 
+def _scenario_registry_run(name: str, seed: int) -> Dict[str, float]:
+    """One registered scenario plugin at quick sizing.
+
+    ``run_registered`` executes under the ambient (serial, uncached)
+    config; every ``ctx.gauge`` a component records mirrors into the
+    active registry, so the flattened snapshot pins the scenario's full
+    metric surface - channel quality, receiver internals, and the
+    engine's own component/record accounting.
+    """
+    from ..scenario import run_registered
+
+    with metrics_scope() as registry:
+        run_registered(name, seed=seed, quick=True)
+        return flatten(registry.snapshot())
+
+
+def _scenario_ichannels_tiny() -> Dict[str, float]:
+    """IChannels-style throttling covert channel (arXiv 2106.05050)."""
+    return _scenario_registry_run("ichannels-throttle", seed=7)
+
+
+def _scenario_clockmod_tiny() -> Dict[str, float]:
+    """Clock-modulation FSK covert channel (arXiv 2404.05823)."""
+    return _scenario_registry_run("clockmod-fsk", seed=11)
+
+
 SCENARIOS: Dict[str, Callable[[], Dict[str, float]]] = {
     "chain-emission-tiny": _chain_emission_tiny,
     "covert-inspiron-tiny": _covert_inspiron_tiny,
     "keylog-quick-fox": _keylog_quick_fox,
+    "scenario-clockmod-tiny": _scenario_clockmod_tiny,
+    "scenario-ichannels-tiny": _scenario_ichannels_tiny,
     "stream-covert-tiny": _stream_covert_tiny,
     "sweep-table2-tiny": _sweep_table2_tiny,
 }

@@ -64,6 +64,11 @@ REGISTERED_SPANS = frozenset(
         "parallel_map",
         "pmu",
         "propagation",
+        "scenario",
+        "scenario.component",
+        "scenario.run",
+        "scenario.setup",
+        "scenario.teardown",
         "sdr",
         "stream.chunk",
         "sweep.group",

@@ -1,0 +1,68 @@
+"""Declarative scenario plugin framework (DESIGN.md section 15).
+
+A *scenario* is a named configuration of components - transmitter,
+power-model, channel, receiver, countermeasure - with a managed
+lifecycle (setup -> run -> teardown), explicit inter-component
+dependency resolution over published resources, and per-component
+randomness streams derived deterministically from the scenario seed.
+
+The framework exists so a new attack from the related literature costs
+one transmitter plus one receiver component on the shared chain, not a
+bespoke harness: the ports under :mod:`repro.scenario.ports` re-express
+the paper experiments (Table II/III, Figure 7, keylogging, streaming
+covert) bit-identically, and :mod:`repro.scenario.attacks` adds the
+IChannels-style throttling channel and the clock-modulation channel.
+Every registered scenario is additionally subject to the conformance
+suite (:mod:`repro.scenario.conformance`) by registration alone.
+"""
+
+from .component import SLOTS, Component, ScenarioContext
+from .dependency import DependencyError, resolve_order
+from .engine import ScenarioOutcome, run_components
+from .lifecycle import Lifecycle, LifecycleError
+from .randomness import RandomnessStreams, derive_seed
+from .registry import (
+    SCENARIO_SCHEMA,
+    ScenarioInfo,
+    ScenarioSpec,
+    build_components,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run_registered,
+    scenario_id,
+)
+
+__all__ = [
+    "SLOTS",
+    "Component",
+    "ScenarioContext",
+    "DependencyError",
+    "resolve_order",
+    "ScenarioOutcome",
+    "run_components",
+    "Lifecycle",
+    "LifecycleError",
+    "RandomnessStreams",
+    "derive_seed",
+    "SCENARIO_SCHEMA",
+    "ScenarioInfo",
+    "ScenarioSpec",
+    "build_components",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "run_registered",
+    "scenario_id",
+]
+
+
+def load_builtin_scenarios() -> None:
+    """Import every built-in scenario module, populating the registry.
+
+    Idempotent (registration is keyed by name and re-imports are no-ops
+    under Python's module cache), so callers - the CLI, the baseline
+    gate, the conformance suite - can call it unconditionally.
+    """
+    from .attacks import clockmod, ichannels  # noqa: F401
+    from .ports import keylog, stream, sweeps  # noqa: F401

@@ -1,0 +1,1 @@
+"""Related-work attack scenarios on the shared chain (PAPERS.md)."""

@@ -1,0 +1,130 @@
+"""CPU clock-modulation covert channel (binary FSK over the envelope).
+
+Models the transmitter of the CPU frequency/clock-modulation covert
+channel of arXiv 2404.05823 on this repository's EM chain: the sender
+gates its compute at one of two modulation frequencies - the effect of
+duty-cycle clock modulation - so both symbols present the *same*
+average load and the information rides only in the gating rate.  On
+the air side the VRM's replenishment (and hence the radiated band
+energy) follows the gating, putting a low-frequency tone on the Eq. 1
+envelope; the receiver runs a two-tone Goertzel bank per bit window
+and picks the stronger tone.
+
+Because the symbols are amplitude-identical by construction, this
+channel survives level-based defenses that would defeat the energy
+receiver - which is why its receiver is the FSK one, and why the
+countermeasure study pairs it with VRM dithering rather than level
+normalisation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...types import ActivityTrace, Interval
+from ..component import Component, ScenarioContext
+from ..components import (
+    ChainPowerModel,
+    EnvelopeFskReceiver,
+    NearFieldChannel,
+    NoCountermeasure,
+)
+from ..registry import ScenarioSpec, register_scenario
+
+
+class ClockModTransmitter(Component):
+    """Encode bits as the gating frequency of a constant-duty load."""
+
+    slot = "transmitter"
+    name = "clockmod-fsk-tx"
+    provides = ("attack.bits", "attack.activity", "attack.timing")
+
+    def __init__(
+        self,
+        n_bits: int = 32,
+        bit_period_s: float = 0.1,
+        lead_in_s: float = 0.1,
+        mod_zero_hz: float = 40.0,
+        mod_one_hz: float = 80.0,
+        duty: float = 0.5,
+    ):
+        if not 0.0 < duty < 1.0:
+            raise ValueError("duty must be in (0, 1)")
+        if mod_zero_hz <= 0 or mod_one_hz <= 0:
+            raise ValueError("modulation frequencies must be positive")
+        if mod_zero_hz == mod_one_hz:
+            raise ValueError("FSK needs two distinct modulation tones")
+        self.n_bits = n_bits
+        self.bit_period_s = bit_period_s
+        self.lead_in_s = lead_in_s
+        self.mod_zero_hz = mod_zero_hz
+        self.mod_one_hz = mod_one_hz
+        self.duty = duty
+
+    def setup(self, ctx: ScenarioContext) -> None:
+        ctx.publish(
+            self,
+            "attack.timing",
+            {
+                "n_bits": self.n_bits,
+                "bit_period_s": self.bit_period_s,
+                "start_s": self.lead_in_s,
+                "mod_zero_hz": self.mod_zero_hz,
+                "mod_one_hz": self.mod_one_hz,
+                "duty": self.duty,
+            },
+        )
+
+    def run(self, ctx: ScenarioContext) -> None:
+        rng = ctx.rng(self)
+        bits = rng.integers(0, 2, size=self.n_bits).astype("uint8")
+        intervals: List[Interval] = []
+        for i, bit in enumerate(bits):
+            freq = self.mod_one_hz if bit else self.mod_zero_hz
+            period = 1.0 / freq
+            start = self.lead_in_s + i * self.bit_period_s
+            end = start + self.bit_period_s
+            t = start
+            while t < end:
+                active_end = min(t + self.duty * period, end)
+                intervals.append(Interval(t, active_end, level=1.0))
+                t += period
+        duration = self.lead_in_s * 2 + self.n_bits * self.bit_period_s
+        ctx.publish(self, "attack.bits", bits)
+        ctx.publish(
+            self, "attack.activity", ActivityTrace(intervals, duration)
+        )
+        ctx.gauge("transmitter.bits", self.n_bits)
+        ctx.gauge(
+            "transmitter.tone_ratio", self.mod_one_hz / self.mod_zero_hz
+        )
+
+
+SPEC = ScenarioSpec(
+    name="clockmod-fsk",
+    title=(
+        "CPU clock-modulation covert channel (arXiv 2404.05823): "
+        "envelope FSK over VRM EM emanations"
+    ),
+    slots=(
+        ("transmitter", "clockmod-fsk-tx"),
+        ("power", "pmu-vrm-chain"),
+        ("channel", "em-near-field"),
+        ("receiver", "envelope-fsk-receiver"),
+        ("countermeasure", "no-countermeasure"),
+    ),
+    tags=("chain", "attack"),
+    default_seed=11,
+)
+
+
+@register_scenario(SPEC)
+def build(seed: int, quick: bool) -> List[Component]:
+    n_bits = 32 if quick else 128
+    return [
+        ClockModTransmitter(n_bits=n_bits),
+        ChainPowerModel(),
+        NearFieldChannel(),
+        EnvelopeFskReceiver(),
+        NoCountermeasure(),
+    ]

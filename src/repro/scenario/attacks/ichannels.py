@@ -1,0 +1,133 @@
+"""IChannels-style current-management throttling covert channel.
+
+Models the transmitter of *IChannels: Exploiting Current Management
+Mechanisms to Create Covert Channels in Modern Processors* (arXiv
+2106.05050) on this repository's EM chain: the sender modulates how
+hard it drives the core's current-management machinery.  A ``1`` bit is
+an unthrottled power virus (sustained maximum activity, the VRM
+replenishes at full tilt); a ``0`` bit deliberately trips the current
+limiter, which duty-cycles the core - here modeled as the activity
+being gated at the throttle period with a reduced duty.  The two
+symbols differ in *average current draw*, so the VRM burst charge - and
+with it the radiated band energy - carries the bit, and the standard
+per-bit energy receiver with the paper's bimodal threshold decodes it.
+
+Unlike the paper's OOK transmitter (sleep-timer modulation inside one
+process), nothing here sleeps: both symbols keep the core nominally
+busy, which is exactly the IChannels trick - the covert state lives in
+the *power-management response*, not in idle time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...types import ActivityTrace, Interval
+from ..component import Component, ScenarioContext
+from ..components import (
+    BitEnergyReceiver,
+    ChainPowerModel,
+    NearFieldChannel,
+    NoCountermeasure,
+)
+from ..registry import ScenarioSpec, register_scenario
+
+
+class ThrottleTransmitter(Component):
+    """Encode bits as throttled vs. unthrottled compute bursts."""
+
+    slot = "transmitter"
+    name = "ichannels-throttle-tx"
+    provides = ("attack.bits", "attack.activity", "attack.timing")
+
+    def __init__(
+        self,
+        n_bits: int = 48,
+        bit_period_s: float = 0.05,
+        lead_in_s: float = 0.1,
+        throttle_period_s: float = 0.005,
+        throttle_duty: float = 0.35,
+        boundary_gap_s: float = 0.002,
+    ):
+        if not 0.0 < throttle_duty < 1.0:
+            raise ValueError("throttle_duty must be in (0, 1)")
+        self.n_bits = n_bits
+        self.bit_period_s = bit_period_s
+        self.lead_in_s = lead_in_s
+        self.throttle_period_s = throttle_period_s
+        self.throttle_duty = throttle_duty
+        self.boundary_gap_s = boundary_gap_s
+
+    def setup(self, ctx: ScenarioContext) -> None:
+        ctx.publish(
+            self,
+            "attack.timing",
+            {
+                "n_bits": self.n_bits,
+                "bit_period_s": self.bit_period_s,
+                "start_s": self.lead_in_s,
+                "throttle_period_s": self.throttle_period_s,
+                "throttle_duty": self.throttle_duty,
+            },
+        )
+
+    def run(self, ctx: ScenarioContext) -> None:
+        rng = ctx.rng(self)
+        bits = rng.integers(0, 2, size=self.n_bits).astype("uint8")
+        intervals: List[Interval] = []
+        for i, bit in enumerate(bits):
+            start = self.lead_in_s + i * self.bit_period_s
+            end = start + self.bit_period_s - self.boundary_gap_s
+            if bit:
+                # Unthrottled power virus: one sustained burst.
+                intervals.append(Interval(start, end, level=1.0))
+            else:
+                # Current-limited: the limiter gates the core at the
+                # throttle period; only the duty fraction executes.
+                t = start
+                while t < end:
+                    active_end = min(
+                        t + self.throttle_duty * self.throttle_period_s, end
+                    )
+                    intervals.append(Interval(t, active_end, level=1.0))
+                    t += self.throttle_period_s
+        duration = self.lead_in_s * 2 + self.n_bits * self.bit_period_s
+        ctx.publish(self, "attack.bits", bits)
+        ctx.publish(
+            self, "attack.activity", ActivityTrace(intervals, duration)
+        )
+        ctx.gauge("transmitter.bits", self.n_bits)
+        ctx.gauge(
+            "transmitter.duty_contrast",
+            1.0 - self.throttle_duty,
+        )
+
+
+SPEC = ScenarioSpec(
+    name="ichannels-throttle",
+    title=(
+        "IChannels-style current-throttling covert channel "
+        "(arXiv 2106.05050) over VRM EM emanations"
+    ),
+    slots=(
+        ("transmitter", "ichannels-throttle-tx"),
+        ("power", "pmu-vrm-chain"),
+        ("channel", "em-near-field"),
+        ("receiver", "bit-energy-receiver"),
+        ("countermeasure", "no-countermeasure"),
+    ),
+    tags=("chain", "attack"),
+    default_seed=7,
+)
+
+
+@register_scenario(SPEC)
+def build(seed: int, quick: bool) -> List[Component]:
+    n_bits = 48 if quick else 192
+    return [
+        ThrottleTransmitter(n_bits=n_bits),
+        ChainPowerModel(),
+        NearFieldChannel(),
+        BitEnergyReceiver(),
+        NoCountermeasure(),
+    ]

@@ -1,0 +1,18 @@
+"""Reusable scenario components shared by attacks and ports."""
+
+from .chain import (
+    ChainPowerModel,
+    NearFieldChannel,
+    NoCountermeasure,
+    VrmDitherCountermeasure,
+)
+from .receivers import BitEnergyReceiver, EnvelopeFskReceiver
+
+__all__ = [
+    "ChainPowerModel",
+    "NearFieldChannel",
+    "NoCountermeasure",
+    "VrmDitherCountermeasure",
+    "BitEnergyReceiver",
+    "EnvelopeFskReceiver",
+]

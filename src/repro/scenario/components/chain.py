@@ -1,0 +1,168 @@
+"""Chain-facing components: power model, EM channel, countermeasures.
+
+These bridge the component framework onto the shared five-stage chain
+(:mod:`repro.chain`).  The power model owns the platform (machine +
+profile + BIOS flags), fingerprints the trial's whole k_power ->
+k_capture key chain before running anything, and then renders the
+capture through the standard chain entry point - so every scenario
+built from these components inherits the chain's cache-key discipline
+and RNG entry/exit-state bit-identity for free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...chain import (
+    capture_chain_keys,
+    render_capture,
+    tuned_frequency_hz,
+)
+from ...countermeasures import VrmDithering
+from ...em.environment import Scenario, near_field_scenario
+from ...params import SimProfile, TINY
+from ...systems.laptops import DELL_INSPIRON, Machine
+from ..component import Component, ScenarioContext
+
+
+class ChainPowerModel(Component):
+    """PMU/VRM power model on the standard chain.
+
+    Consumes the transmitter's activity trace and the channel's EM
+    scenario, publishes the platform description and band up front
+    (setup), then fingerprints the chain-key DAG path and renders the
+    capture (run).  All chain randomness comes from this component's
+    own stream, so the analog chain is isolated from every other
+    component's draws.
+    """
+
+    slot = "power"
+    name = "pmu-vrm-chain"
+    provides = ("attack.platform", "attack.band", "attack.capture")
+    requires = ("attack.activity", "attack.scenario", "attack.dithering")
+
+    def __init__(
+        self,
+        machine: Machine = DELL_INSPIRON,
+        profile: SimProfile = TINY,
+        allow_c_states: bool = True,
+        allow_p_states: bool = True,
+    ):
+        self.machine = machine
+        self.profile = profile
+        self.allow_c_states = allow_c_states
+        self.allow_p_states = allow_p_states
+
+    def setup(self, ctx: ScenarioContext) -> None:
+        ctx.publish(
+            self,
+            "attack.platform",
+            {
+                "machine": self.machine,
+                "profile": self.profile,
+                "allow_c_states": self.allow_c_states,
+                "allow_p_states": self.allow_p_states,
+            },
+        )
+        ctx.publish(
+            self,
+            "attack.band",
+            {
+                "vrm_frequency_hz": (
+                    self.machine.vrm_frequency_hz
+                    / self.profile.total_freq_divisor
+                ),
+                "tuned_frequency_hz": tuned_frequency_hz(
+                    self.machine, self.profile
+                ),
+            },
+        )
+
+    def run(self, ctx: ScenarioContext) -> None:
+        activity = ctx.get("attack.activity")
+        scenario: Scenario = ctx.get("attack.scenario")
+        dithering: Optional[VrmDithering] = ctx.get("attack.dithering")
+        rng = ctx.rng(self)
+        keys = capture_chain_keys(
+            self.machine,
+            activity,
+            scenario,
+            self.profile,
+            rng,
+            allow_c_states=self.allow_c_states,
+            allow_p_states=self.allow_p_states,
+            vrm_dithering=dithering,
+        )
+        ctx.add_chain_keys(keys)
+        capture = render_capture(
+            self.machine,
+            activity,
+            scenario,
+            self.profile,
+            rng,
+            allow_c_states=self.allow_c_states,
+            allow_p_states=self.allow_p_states,
+            vrm_dithering=dithering,
+        )
+        ctx.publish(self, "attack.capture", capture)
+        ctx.gauge("scenario.capture.samples", capture.samples.size)
+
+
+class NearFieldChannel(Component):
+    """The paper's near-field measurement setup, band-tuned for the
+    platform at construction time (no resource cycle with the power
+    model)."""
+
+    slot = "channel"
+    name = "em-near-field"
+    provides = ("attack.scenario",)
+
+    def __init__(
+        self,
+        machine: Machine = DELL_INSPIRON,
+        profile: SimProfile = TINY,
+    ):
+        self.machine = machine
+        self.profile = profile
+
+    def setup(self, ctx: ScenarioContext) -> None:
+        scenario = near_field_scenario(
+            tuned_frequency_hz(self.machine, self.profile),
+            physics_frequency_hz=1.5 * self.machine.vrm_frequency_hz,
+        )
+        ctx.publish(self, "attack.scenario", scenario)
+
+
+class NoCountermeasure(Component):
+    """The explicit absence of a countermeasure (the slot is always
+    filled, so the power model's requires never go conditional)."""
+
+    slot = "countermeasure"
+    name = "no-countermeasure"
+    provides = ("attack.dithering",)
+
+    def setup(self, ctx: ScenarioContext) -> None:
+        ctx.publish(self, "attack.dithering", None)
+
+
+class VrmDitherCountermeasure(Component):
+    """VRM frequency dithering (DESIGN.md countermeasures) as a
+    pluggable component: spreads the switching tone to defeat
+    band-energy receivers."""
+
+    slot = "countermeasure"
+    name = "vrm-dithering"
+    provides = ("attack.dithering",)
+
+    def __init__(self, spread_rel: float = 0.05, coherence_s: float = 1e-3):
+        self.spread_rel = spread_rel
+        self.coherence_s = coherence_s
+
+    def setup(self, ctx: ScenarioContext) -> None:
+        ctx.publish(
+            self,
+            "attack.dithering",
+            VrmDithering(
+                spread_rel=self.spread_rel, coherence_s=self.coherence_s
+            ),
+        )

@@ -1,0 +1,90 @@
+"""Inter-component dependency resolution.
+
+The resolver turns a bag of components into the one canonical execution
+order: consumers run after the providers of every resource they
+require, and ties are broken by ``(slot order, name)`` - never by
+registration order.  A scenario built from the same components in any
+order therefore executes identically, which is half of the
+order-invariance guarantee (the other half is name-derived randomness
+streams).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .component import SLOTS, Component, check_component
+
+
+class DependencyError(ValueError):
+    """A scenario's component graph is unsatisfiable."""
+
+
+def resolve_order(components: Sequence[Component]) -> List[Component]:
+    """Canonical execution order for ``components``.
+
+    Raises :class:`DependencyError` on duplicate names, duplicate
+    providers, a required resource nobody provides, or a dependency
+    cycle.
+    """
+    components = list(components)
+    if not components:
+        raise DependencyError("a scenario needs at least one component")
+    for component in components:
+        problem = check_component(component)
+        if problem is not None:
+            raise DependencyError(problem)
+    names = [c.name for c in components]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise DependencyError(f"duplicate component names: {dupes}")
+
+    provider: Dict[str, Component] = {}
+    for component in components:
+        for resource in component.provides:
+            if resource in provider:
+                raise DependencyError(
+                    f"resource {resource!r} provided by both "
+                    f"{provider[resource].name!r} and {component.name!r}"
+                )
+            provider[resource] = component
+    for component in components:
+        for resource in component.requires:
+            if resource not in provider:
+                raise DependencyError(
+                    f"component {component.name!r} requires {resource!r} "
+                    f"but no component provides it"
+                )
+
+    # Canonical base order: slot order, then name.  The topological
+    # sort consumes candidates in this order, so the final order is a
+    # pure function of the component *set*.
+    base = sorted(components, key=lambda c: (SLOTS.index(c.slot), c.name))
+    indegree: Dict[str, int] = {c.name: 0 for c in components}
+    consumers: Dict[str, List[Component]] = {c.name: [] for c in components}
+    for component in components:
+        deps = {provider[r].name for r in component.requires}
+        deps.discard(component.name)
+        indegree[component.name] = len(deps)
+        for dep in deps:
+            consumers[dep].append(component)
+
+    order: List[Component] = []
+    ready = [c for c in base if indegree[c.name] == 0]
+    while ready:
+        current = ready.pop(0)
+        order.append(current)
+        released = []
+        for consumer in consumers[current.name]:
+            indegree[consumer.name] -= 1
+            if indegree[consumer.name] == 0:
+                released.append(consumer)
+        if released:
+            ready.extend(released)
+            ready.sort(key=lambda c: (SLOTS.index(c.slot), c.name))
+    if len(order) != len(components):
+        stuck = sorted(n for n, d in indegree.items() if d > 0)
+        raise DependencyError(
+            f"dependency cycle among components: {stuck}"
+        )
+    return order

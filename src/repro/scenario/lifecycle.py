@@ -1,0 +1,54 @@
+"""The scenario lifecycle state machine.
+
+A scenario advances strictly through ``configured -> setup -> run ->
+teardown -> complete``; skipping or revisiting a phase is a
+:class:`LifecycleError`.  The engine owns the transitions; components
+can assert their expectations with :meth:`Lifecycle.require`.
+"""
+
+from __future__ import annotations
+
+PHASES = ("configured", "setup", "run", "teardown", "complete")
+
+
+class LifecycleError(RuntimeError):
+    """An illegal lifecycle transition or phase assertion."""
+
+
+class Lifecycle:
+    """Tracks the current phase and enforces the legal order."""
+
+    def __init__(self) -> None:
+        self._index = 0
+
+    @property
+    def phase(self) -> str:
+        return PHASES[self._index]
+
+    def advance(self, phase: str) -> None:
+        """Move to ``phase``, which must be the immediate successor."""
+        if phase not in PHASES:
+            raise LifecycleError(
+                f"unknown phase {phase!r}; phases: {', '.join(PHASES)}"
+            )
+        expected = self._index + 1
+        if PHASES.index(phase) != expected:
+            raise LifecycleError(
+                f"cannot advance from {self.phase!r} to {phase!r}; "
+                f"next phase is {PHASES[expected]!r}"
+                if expected < len(PHASES)
+                else f"lifecycle already complete, cannot enter {phase!r}"
+            )
+        self._index = expected
+
+    def require(self, phase: str) -> None:
+        """Assert the current phase (component-side sanity check)."""
+        if self.phase != phase:
+            raise LifecycleError(
+                f"expected phase {phase!r}, but lifecycle is in "
+                f"{self.phase!r}"
+            )
+
+    @property
+    def complete(self) -> bool:
+        return self.phase == "complete"

@@ -1,0 +1,1 @@
+"""Paper experiments re-expressed as scenarios (bit-identical ports)."""

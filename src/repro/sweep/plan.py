@@ -113,6 +113,22 @@ class SweepPlan:
         so a deeper warm always finds its own prefix already cached)."""
         return [n for n in self.nodes if n.stage in WARMABLE and n.shared]
 
+    def trial_groups(self) -> List[Tuple[StageNode, List[TrialPlan]]]:
+        """Trials grouped by the deepest chain node they share, in node
+        order.  Unlike the warm/fan-out accounting (which only cares
+        about nodes with more than one consumer), every group is
+        reported - a grid that expands to a single trial is one
+        singleton group, not nothing."""
+        by_key: Dict[Tuple[str, str], List[TrialPlan]] = {}
+        for tp in self.trials:
+            by_key.setdefault(tp.keys.stages()[-1], []).append(tp)
+        groups: List[Tuple[StageNode, List[TrialPlan]]] = []
+        for node in self.nodes:
+            members = by_key.get((node.stage, node.key))
+            if members is not None:
+                groups.append((node, members))
+        return groups
+
     def predicted_hits(self) -> Dict[str, int]:
         """How many nodes the *current* cache already holds, per layer."""
         cache = get_chain_cache()
@@ -149,6 +165,14 @@ class SweepPlan:
                 f"  {node.stage:<10} {key_prefix(node.key)}  "
                 f"trials={len(node.trial_ids)} fan-out={len(node.children)}"
                 f"{mark}"
+            )
+        for node, members in self.trial_groups():
+            labels = ", ".join(
+                tp.trial.label or tp.trial_id[:12] for tp in members
+            )
+            lines.append(
+                f"  group {node.stage} {key_prefix(node.key)}: "
+                f"{len(members)} trial(s): {labels}"
             )
         return "\n".join(lines)
 

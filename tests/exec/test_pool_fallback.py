@@ -12,6 +12,7 @@ import warnings
 import pytest
 
 import repro.exec.pool as pool_mod
+from repro.exec.context import execution_scope
 from repro.exec.pool import parallel_map
 from repro.obs.trace import collect_events
 
@@ -30,6 +31,15 @@ def multi_cpu(monkeypatch):
     # The fallback under test is the *pool probe* failing, which needs
     # the single-CPU degradation guard out of the way first.
     monkeypatch.setattr(pool_mod, "effective_cpus", lambda: 2)
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_dedupe():
+    # The warning fires once per ExecutionConfig instance; tests share
+    # the process-default config, so isolate them from each other.
+    pool_mod._serial_fallback_warned.clear()
+    yield
+    pool_mod._serial_fallback_warned.clear()
 
 
 @pytest.fixture
@@ -73,3 +83,49 @@ class TestSerialFallback:
         with warnings.catch_warnings():
             warnings.simplefilter("error", RuntimeWarning)
             assert parallel_map(_square, [1, 2], jobs=1) == [1, 4]
+
+
+class TestFallbackWarningDedupe:
+    """A sweep calls ``parallel_map`` once per trial group; under a
+    no-fork sandbox that used to mean one identical warning per group.
+    The environmental condition is per execution config, so the warning
+    fires once per config instance while the structured trace event
+    still records every occurrence."""
+
+    def test_warns_once_per_config(self, broken_pool):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", RuntimeWarning)
+            for _ in range(3):
+                parallel_map(_square, [1, 2, 3], jobs=2)
+        fallback = [
+            w for w in caught if "serially instead of" in str(w.message)
+        ]
+        assert len(fallback) == 1
+
+    def test_new_scope_warns_again(self, broken_pool):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", RuntimeWarning)
+            parallel_map(_square, [1, 2, 3], jobs=2)
+            with execution_scope(jobs=2):
+                parallel_map(_square, [1, 2, 3])
+                parallel_map(_square, [1, 2, 3])
+            with execution_scope(jobs=2):
+                parallel_map(_square, [1, 2, 3])
+        fallback = [
+            w for w in caught if "serially instead of" in str(w.message)
+        ]
+        assert len(fallback) == 3
+
+    def test_trace_event_fires_every_time(self, broken_pool):
+        with collect_events() as events:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                for _ in range(3):
+                    parallel_map(_square, [1, 2, 3], jobs=2)
+        fallbacks = [
+            e
+            for e in events
+            if e.get("event") == "warning"
+            and e.get("kind") == "pool-serial-fallback"
+        ]
+        assert len(fallbacks) == 3

@@ -150,3 +150,76 @@ class TestPlannerGuards:
 
     def test_warmable_subset_of_stage_order(self):
         assert set(WARMABLE) <= set(STAGE_ORDER)
+
+
+class TestDescribeTrialGroups:
+    """``repro sweep --plan`` must account for *every* trial.
+
+    The node listing identifies work by anonymous key prefixes and the
+    warm accounting only cares about fan-out > 1, so a grid that
+    expanded to a single trial used to be invisible in the plan output.
+    The group listing reports each deepest-node trial group - singleton
+    groups included - by label.
+    """
+
+    def test_single_trial_grid_appears_in_describe(self):
+        spec = SweepSpec(
+            base={"bits": 24},
+            zips=[{"label": ["lonely"], "seed": [7]}],
+        )
+        plan = plan_sweep(spec)
+        assert plan.n_trials == 1
+        groups = plan.trial_groups()
+        assert len(groups) == 1
+        node, members = groups[0]
+        assert len(members) == 1
+        text = plan.describe()
+        assert "lonely" in text
+        assert "1 trial(s)" in text
+
+    def test_every_label_listed_even_in_singleton_groups(self):
+        # Two seeds share nothing (each is its own singleton group);
+        # both labels must still appear in the plan output.
+        spec = SweepSpec(
+            base={"bits": 24},
+            zips=[
+                {
+                    "label": ["run-a", "run-b"],
+                    "seed": [1, 2],
+                    "payload_index": [0, 1],
+                }
+            ],
+        )
+        plan = plan_sweep(spec)
+        assert plan.warm_nodes() == []  # nothing shared...
+        text = plan.describe()
+        for label in ("run-a", "run-b"):  # ...yet every trial is listed
+            assert label in text
+        assert sum(len(m) for _, m in plan.trial_groups()) == plan.n_trials
+
+    def test_unlabelled_trials_fall_back_to_trial_id(self):
+        spec = SweepSpec(base={"bits": 24}, zips=[{"seed": [3]}])
+        plan = plan_sweep(spec)
+        (group,) = plan.trial_groups()
+        _, members = group
+        assert members[0].trial_id[:12] in plan.describe()
+
+    def test_shared_capture_is_one_group(self):
+        spec = SweepSpec(
+            base={"bits": 24},
+            zips=[
+                {
+                    "label": ["rx-a", "rx-b"],
+                    "receiver": [
+                        None,
+                        {"acquisition": {"fft_size": 256, "hop": 16}},
+                    ],
+                }
+            ],
+        )
+        plan = plan_sweep(spec)
+        groups = plan.trial_groups()
+        assert len(groups) == 1
+        node, members = groups[0]
+        assert node.stage == "capture"
+        assert [tp.trial.label for tp in members] == ["rx-a", "rx-b"]
