@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test lint lint-baseline bench bench-parallel bench-sweep bench-vector smoke-batch smoke-parallel smoke-scenario smoke-stream smoke-sweep regress regress-record
+.PHONY: test lint lint-baseline bench bench-parallel bench-stream bench-sweep bench-vector smoke-batch smoke-mux smoke-parallel smoke-scenario smoke-stream smoke-sweep regress regress-record
 
 test:
 	$(PY) -m pytest -x -q
@@ -40,6 +40,14 @@ bench-parallel:
 	$(PY) -m pytest benchmarks/test_bench_parallel.py \
 		--benchmark-only --benchmark-json=BENCH_parallel.json
 
+# Time the fleet multiplexer: 1000-stream batched demod against the
+# naive per-stream fleet loop (>=5x, bit-identical), plus the capacity
+# curve (streams vs shed fraction vs aggregate bits/s) under a fixed
+# service budget.  Numbers land in BENCH_stream.json.
+bench-stream:
+	$(PY) -m pytest benchmarks/test_bench_stream.py \
+		--benchmark-only --benchmark-json=BENCH_stream.json
+
 # Time the sweep engine against trial-at-a-time naive execution on the
 # receiver grid (analog chain shared by all eight trials) and record
 # the numbers, including the extra_info speedup, to BENCH_sweep.json.
@@ -60,6 +68,14 @@ bench-vector:
 # executor's batched-serial lane; records are bit-identical to scalar).
 smoke-batch:
 	$(PY) -m repro sweep receiver-grid --jobs 1 --batch on
+
+# Quick end-to-end sanity check of the fleet multiplexer: a tiny
+# 32-stream mixed fleet (covert + keylog + clockmod) through the
+# batched cross-stream DSP tick, finalised decodes checked against the
+# per-stream golden path (the command exits non-zero on divergence).
+smoke-mux:
+	$(PY) -m repro mux --fleet stream-covert=16 --fleet keylog=8 \
+		--fleet clockmod-fsk=8 --check
 
 # Quick end-to-end sanity check of the process pool: one experiment
 # fanned out across two workers.

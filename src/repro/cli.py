@@ -17,6 +17,14 @@ Subcommands
     Demo: decode a covert transmission *as it arrives* - chunked
     replay through the streaming receiver with a ring buffer,
     backpressure, and an equivalence check against the batch decoder.
+    ``--scenario NAME`` streams any registered scenario's capture
+    (``ichannels-throttle``, ``clockmod-fsk``, ``keylog``, ...)
+    instead of a text transmission.
+``mux [--fleet SCENARIO=COUNT ...]``
+    Demo: a fleet of concurrent receivers through the streaming
+    multiplexer - shared chunk pool, per-stream backpressure, one
+    batched cross-stream DSP tick per config group (``--check``
+    verifies every finalised decode against the per-stream path).
 ``regress [--record]``
     Compare (or re-record) the fixed-seed metric baselines in
     ``baselines/`` - the signal-quality regression gate.
@@ -295,10 +303,29 @@ def build_parser() -> argparse.ArgumentParser:
     stream_p = sub.add_parser(
         "stream", help="streaming covert-channel receiver demo"
     )
-    stream_p.add_argument("text", help="ASCII text to exfiltrate")
+    stream_p.add_argument(
+        "text",
+        nargs="?",
+        default=None,
+        help="ASCII text to exfiltrate (omit with --scenario)",
+    )
+    stream_p.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="stream a registered scenario's capture instead of a text "
+        "transmission (any scenario that renders IQ: stream-covert, "
+        "ichannels-throttle, clockmod-fsk, keylog, ...)",
+    )
     stream_p.add_argument("--machine", default="Inspiron")
     stream_p.add_argument("--profile", default="tiny")
-    stream_p.add_argument("--seed", type=int, default=0)
+    stream_p.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="default: 0, or the scenario's registered seed with "
+        "--scenario",
+    )
     stream_p.add_argument(
         "--chunk-size",
         type=int,
@@ -345,6 +372,73 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="write a run manifest (stats + metrics) to DIR",
+    )
+
+    mux_p = sub.add_parser(
+        "mux",
+        help="fleet streaming demo: many receivers, one batched DSP tick",
+    )
+    mux_p.add_argument(
+        "--fleet",
+        action="append",
+        default=None,
+        metavar="SCENARIO[=COUNT]",
+        help="add COUNT streams replaying SCENARIO's capture "
+        "(repeatable; default stream-covert=32)",
+    )
+    mux_p.add_argument("--chunk-size", type=int, default=512, metavar="N")
+    mux_p.add_argument(
+        "--tick-chunks",
+        type=int,
+        default=16,
+        metavar="N",
+        help="chunks per stream per scheduler tick",
+    )
+    mux_p.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="S",
+        help="replay only the first S seconds of each capture",
+    )
+    mux_p.add_argument("--jitter", type=float, default=0.05, metavar="REL")
+    mux_p.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-stream queue capacity in chunks "
+        "(default: two ticks' arrivals, drop-free)",
+    )
+    mux_p.add_argument(
+        "--policy", choices=("block", "drop-oldest"), default="drop-oldest"
+    )
+    mux_p.add_argument(
+        "--service-rate-factor",
+        type=float,
+        default=None,
+        metavar="X",
+        help="per-stream service budget as a multiple of the capture "
+        "sample rate (default: unlimited, lossless)",
+    )
+    mux_p.add_argument(
+        "--check",
+        action="store_true",
+        help="verify every finalised decode against the per-stream "
+        "golden path (requires a drop-free run; exits non-zero on "
+        "divergence)",
+    )
+    mux_p.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the fleet summary as JSON to FILE",
+    )
+    mux_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write mux spans (tick/group/run) as JSONL to FILE",
     )
     return parser
 
@@ -662,11 +756,23 @@ def _cmd_stream(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.scenario is not None:
+        if args.text is not None:
+            print(
+                "error: give either TEXT or --scenario, not both",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_stream_scenario(args)
+    if args.text is None:
+        print("error: TEXT is required without --scenario", file=sys.stderr)
+        return 2
 
+    seed = 0 if args.seed is None else args.seed
     link = CovertLink(
         machine=by_name(args.machine),
         profile=get_profile(args.profile),
-        seed=args.seed,
+        seed=seed,
     )
     payload = bytes_to_bits(args.text.encode("ascii"))
     print(f"transmitting {payload.size} bits on {link.machine.name} ...")
@@ -741,7 +847,7 @@ def _cmd_stream(args) -> int:
             experiment_id="stream-demo",
             title="streaming covert receiver demo",
             profile=link.profile,
-            seed=args.seed,
+            seed=seed,
             metrics_snapshot=registry.snapshot(),
         )
         manifest["stream"] = stats.as_dict()
@@ -749,6 +855,188 @@ def _cmd_stream(args) -> int:
             manifest, Path(args.manifest_dir) / "stream-demo.json"
         )
         print(f"manifest written to {path}")
+    return 0
+
+
+def _cmd_stream_scenario(args) -> int:
+    """``repro stream --scenario NAME``: stream any registered scenario."""
+    import contextlib
+
+    import numpy as np
+
+    from .core.align import align_bits
+    from .mux.fleet import stream_spec_from_scenario
+    from .obs.metrics import metrics_scope
+    from .obs.trace import tracing_scope
+    from .stream import StreamRunner
+
+    try:
+        spec = stream_spec_from_scenario(args.scenario, seed=args.seed)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    capture = spec.capture
+    print(
+        f"streaming scenario {spec.scenario!r} (seed {spec.seed}, "
+        f"{spec.kind}): {capture.samples.size} samples at "
+        f"{capture.sample_rate:.0f} S/s, band {spec.vrm_frequency_hz:.0f} Hz"
+    )
+
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(metrics_scope())
+        if args.trace:
+            stack.enter_context(tracing_scope(args.trace))
+        source = spec.make_source(args.chunk_size, args.jitter, spec.seed)
+        receiver = spec.make_receiver(online=True)
+        runner = StreamRunner(
+            source,
+            receiver,
+            buffer_capacity=args.buffer_capacity,
+            policy=args.policy,
+            service_rate_sps=args.service_rate,
+        )
+        run = runner.run()
+        final = receiver.finalize()
+
+    stats = run.stats
+    print(
+        f"streamed {stats.chunks_total} chunk(s) of {args.chunk_size}: "
+        f"{stats.chunks_processed} processed, {stats.chunks_dropped} "
+        f"dropped, {stats.chunks_shed} shed "
+        f"(policy={stats.policy}, capacity={stats.buffer_capacity})"
+    )
+    if spec.kind == "keylog":
+        print(
+            f"finalised {len(final.events)} keystroke event(s); "
+            f"{run.n_events} online event(s)"
+        )
+        return 0
+    line = f"finalised {final.bits.size} bit(s)"
+    if spec.tx_bits is not None and final.bits.size:
+        ber = align_bits(np.asarray(spec.tx_bits), final.bits).ber
+        line += f"; BER vs transmitted: {ber:.3f}"
+    print(line + f"; sync={'locked' if receiver.synchronized else 'none'}")
+    return 0
+
+
+def _cmd_mux(args) -> int:
+    import contextlib
+    import json
+    import time
+
+    from .mux import FleetStreamSpec, build_multiplexer, finalized_digests
+    from .mux.fleet import golden_digest
+    from .obs.metrics import metrics_scope
+    from .obs.trace import tracing_scope
+
+    entries = args.fleet if args.fleet else ["stream-covert=32"]
+    fleet = []
+    for entry in entries:
+        name, _, count = entry.partition("=")
+        try:
+            n = int(count) if count else 1
+        except ValueError:
+            print(
+                f"error: bad --fleet entry {entry!r} "
+                "(expected SCENARIO[=COUNT])",
+                file=sys.stderr,
+            )
+            return 2
+        if n < 1 or not name:
+            print(f"error: bad --fleet entry {entry!r}", file=sys.stderr)
+            return 2
+        fleet.append(
+            FleetStreamSpec(
+                name,
+                count=n,
+                capacity=args.capacity,
+                policy=args.policy,
+                service_rate_factor=args.service_rate_factor,
+                jitter_rel=args.jitter,
+                duration_s=args.duration,
+            )
+        )
+
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(metrics_scope())
+        if args.trace:
+            stack.enter_context(tracing_scope(args.trace))
+        try:
+            mux, by_stream = build_multiplexer(
+                fleet,
+                chunk_size=args.chunk_size,
+                tick_chunks=args.tick_chunks,
+            )
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        t0 = time.perf_counter()
+        mux.run()
+        elapsed = time.perf_counter() - t0
+        mux.check_conservation()
+
+    totals = mux.totals()
+    print(
+        f"multiplexed {mux.n_streams} stream(s) over {mux.ticks} tick(s) "
+        f"in {elapsed:.2f} s: {totals['delivered_chunks']} delivered, "
+        f"{totals['dropped_chunks']} dropped, {totals['shed_chunks']} "
+        f"shed (shed fraction {mux.shed_fraction():.3f})"
+    )
+    print(
+        f"aggregate {totals['delivered_samples'] / max(elapsed, 1e-9) / 1e6:.2f} "
+        f"Msamples/s; pool high watermark {mux.pool.high_watermark}/"
+        f"{mux.pool.n_slabs} slab(s); {totals['events']} online event(s)"
+    )
+    digests = finalized_digests(mux, by_stream)
+
+    summary = {
+        "streams": mux.n_streams,
+        "ticks": mux.ticks,
+        "elapsed_s": round(elapsed, 3),
+        "shed_fraction": mux.shed_fraction(),
+        "totals": totals,
+        "pool_high_watermark": mux.pool.high_watermark,
+        "digests": digests,
+    }
+    if args.json:
+        path = Path(args.json)
+        path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        print(f"summary written to {path}")
+
+    if args.check:
+        lossy = totals["dropped_chunks"] + totals["shed_chunks"]
+        if lossy:
+            print(
+                f"error: --check needs a drop-free run but {lossy} "
+                "chunk(s) were lost; raise --capacity or drop "
+                "--service-rate-factor",
+                file=sys.stderr,
+            )
+            return 2
+        goldens: dict = {}
+        diverged = 0
+        for stream_id, spec in by_stream.items():
+            key = (spec.scenario, spec.seed, spec.capture.samples.size)
+            if key not in goldens:
+                goldens[key] = golden_digest(spec, args.chunk_size)
+            if digests[stream_id] != goldens[key]:
+                diverged += 1
+                print(
+                    f"DIVERGED {stream_id}: {digests[stream_id]} != "
+                    f"{goldens[key]}",
+                    file=sys.stderr,
+                )
+        if diverged:
+            print(
+                f"check FAILED: {diverged}/{mux.n_streams} stream(s) "
+                "diverged from the per-stream golden path",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"check OK: all {mux.n_streams} finalised decode(s) "
+            "bit-identical to the per-stream golden path"
+        )
     return 0
 
 
@@ -774,6 +1062,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_keylog(args)
     if args.command == "stream":
         return _cmd_stream(args)
+    if args.command == "mux":
+        return _cmd_mux(args)
     raise AssertionError("unreachable")
 
 

@@ -61,10 +61,25 @@ class ChannelMetrics:
 def align_bits(transmitted, received) -> ChannelMetrics:
     """Edit-distance alignment of two bit streams.
 
-    Uses unit costs for substitution, insertion and deletion, then backs
-    the optimal path out of the DP table to count each operation.  The
-    DP rows are vectorised over the received stream, keeping the cost at
-    O(n*m) cheap NumPy operations.
+    Uses unit costs for substitution, insertion and deletion.  Among the
+    minimum-cost alignments the one with the *most* substitutions is
+    reported (ties between "one substitution" and "one insertion plus
+    one deletion elsewhere" resolve toward the substitution, matching
+    how the paper's tables attribute errors).  That canonical choice
+    makes the counts symmetric by construction: any optimal alignment
+    satisfies ``S + I + D = C`` and ``I - D = m - n``, so the
+    decomposition is determined entirely by the substitution count, and
+    the maximum-substitution value is invariant under swapping the two
+    streams (transposing the DP swaps insertions with deletions but
+    leaves matches and substitutions in place).  Hence
+    ``align_bits(a, b)`` and ``align_bits(b, a)`` always agree, with
+    insertions and deletions exchanged.
+
+    The DP rows are vectorised over the received stream, keeping the
+    cost at O(n*m) cheap NumPy operations: each cell carries the single
+    integer ``cost * K - substitutions`` (``K`` exceeds any possible
+    substitution count), so the lexicographic (min cost, max subs)
+    objective stays an ordinary ``min``.
     """
     tx = as_bit_array(transmitted)
     rx = as_bit_array(received)
@@ -73,36 +88,31 @@ def align_bits(transmitted, received) -> ChannelMetrics:
         return ChannelMetrics(0, m, 0, 0, m)
     if m == 0:
         return ChannelMetrics(0, 0, n, n, 0)
-    # dp[i, j]: edit distance between tx[:i] and rx[:j].
-    dp = np.zeros((n + 1, m + 1), dtype=np.int32)
-    dp[0, :] = np.arange(m + 1)
-    dp[:, 0] = np.arange(n + 1)
-    j_idx = np.arange(1, m + 1, dtype=np.int32)
+    big = np.int64(min(n, m) + 1)  # strictly above any substitution count
+    # dp[i, j]: cost * big - substitutions over tx[:i] vs rx[:j].
+    dp = np.zeros((n + 1, m + 1), dtype=np.int64)
+    dp[0, :] = np.arange(m + 1, dtype=np.int64) * big
+    dp[:, 0] = np.arange(n + 1, dtype=np.int64) * big
+    j_idx = np.arange(1, m + 1, dtype=np.int64)
     for i in range(1, n + 1):
-        sub_cost = (rx != tx[i - 1]).astype(np.int32)
+        sub_cost = (rx != tx[i - 1]).astype(np.int64)
         row_prev = dp[i - 1]
-        # Substitution / deletion candidates are independent per column;
-        # the insertion term couples columns left-to-right, but
-        # row[j] = min_{j' <= j} cand[j'] + (j - j') collapses to a
-        # prefix minimum of (cand[j'] - j'), keeping the row vectorised.
-        cand = np.minimum(row_prev[:-1] + sub_cost, row_prev[1:] + 1)
-        shifted = np.concatenate(([dp[i, 0]], cand - j_idx))
-        dp[i, 1:] = np.minimum.accumulate(shifted)[1:] + j_idx
-    # Backtrack to classify operations.
-    i, j = n, m
-    errors = insertions = deletions = 0
-    while i > 0 or j > 0:
-        if i > 0 and j > 0 and dp[i, j] == dp[i - 1, j - 1] + (tx[i - 1] != rx[j - 1]):
-            if tx[i - 1] != rx[j - 1]:
-                errors += 1
-            i -= 1
-            j -= 1
-        elif i > 0 and dp[i, j] == dp[i - 1, j] + 1:
-            deletions += 1
-            i -= 1
-        else:
-            insertions += 1
-            j -= 1
+        # Substitution / deletion candidates are independent per column
+        # (a match adds 0, a substitution big - 1, a deletion big); the
+        # insertion term couples columns left-to-right, but
+        # row[j] = min_{j' <= j} cand[j'] + (j - j') * big collapses to
+        # a prefix minimum of (cand[j'] - j' * big), keeping the row
+        # vectorised.
+        cand = np.minimum(
+            row_prev[:-1] + sub_cost * (big - 1), row_prev[1:] + big
+        )
+        shifted = np.concatenate(([dp[i, 0]], cand - j_idx * big))
+        dp[i, 1:] = np.minimum.accumulate(shifted)[1:] + j_idx * big
+    value = int(dp[n, m])
+    cost = (value + int(big) - 1) // int(big)
+    errors = cost * int(big) - value
+    insertions = (cost - errors + (m - n)) // 2
+    deletions = (cost - errors + (n - m)) // 2
     return ChannelMetrics(
         bit_errors=errors,
         insertions=insertions,

@@ -1,0 +1,49 @@
+"""Fleet-scale streaming multiplexer: 1k-10k receivers, one process.
+
+Layers (each its own module, composable without the others):
+
+* :mod:`.pool` - one preallocated slab arena shared by every stream's
+  bounded queue, with exact per-stream drop accounting;
+* :mod:`.dsp` - cross-stream batched demodulation: one windowed-FFT
+  kernel call per STFT-config group per tick, bit-identical to the
+  per-stream :class:`~repro.stream.receiver.StreamingReceiver` path;
+* :mod:`.scheduler` - the deterministic tick engine: arrival-clocked
+  ingest, priority round-robin service under per-stream sample
+  budgets, chunk conservation as a checked invariant, and an asyncio
+  wrapper for cooperative runs;
+* :mod:`.interactive` - pause / step / inspect / poke for live fleets;
+* :mod:`.fleet` - registered scenarios as stream sources and mixed
+  fleets as one call.
+"""
+
+from .dsp import MuxStream, group_streams, tick_group
+from .fleet import (
+    FleetStreamSpec,
+    StreamSpec,
+    bits_digest,
+    build_multiplexer,
+    finalized_digests,
+    stream_spec_from_scenario,
+)
+from .interactive import InteractiveMux
+from .pool import ChunkPool, PooledChunk, StreamQueue
+from .scheduler import MuxStreamState, StreamCounters, StreamMultiplexer
+
+__all__ = [
+    "ChunkPool",
+    "FleetStreamSpec",
+    "InteractiveMux",
+    "MuxStream",
+    "MuxStreamState",
+    "PooledChunk",
+    "StreamCounters",
+    "StreamMultiplexer",
+    "StreamQueue",
+    "StreamSpec",
+    "bits_digest",
+    "build_multiplexer",
+    "finalized_digests",
+    "group_streams",
+    "stream_spec_from_scenario",
+    "tick_group",
+]

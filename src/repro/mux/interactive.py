@@ -1,0 +1,172 @@
+"""Interactive fleet control: pause, step, inspect, poke one stream.
+
+Debugging a 1k-stream run by print statements is hopeless; this module
+gives the multiplexer a REPL-sized surface instead.  The tick engine is
+already synchronous (:meth:`StreamMultiplexer.tick` runs to completion
+or not at all), so interaction is race-free by construction:
+
+* :meth:`InteractiveMux.pause` / :meth:`resume` gate the asyncio run
+  loop at tick boundaries;
+* :meth:`step` executes exactly N ticks while paused;
+* :meth:`inspect` returns one stream's full observable state - queue
+  depth, ledger counters, receiver progress - as a plain dict;
+* :meth:`poke` pushes ad-hoc samples through one stream's receiver via
+  the *per-stream* path (its own staged frames, not a fleet kernel),
+  which is exactly what you want when bisecting a suspected batching
+  bug: the poked stream's envelope is the reference the group path
+  must match bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .scheduler import StreamMultiplexer
+
+
+class InteractiveMux:
+    """Thin control shell over a :class:`StreamMultiplexer`."""
+
+    def __init__(self, mux: StreamMultiplexer):
+        self.mux = mux
+
+    # -- fleet control ------------------------------------------------------
+
+    def pause(self) -> None:
+        self.mux.pause()
+
+    def resume(self) -> None:
+        self.mux.resume()
+
+    @property
+    def paused(self) -> bool:
+        return self.mux.paused
+
+    def step(self, n_ticks: int = 1) -> Dict[str, Any]:
+        """Run exactly ``n_ticks`` ticks (pausing first if needed).
+
+        Returns a progress summary for the stepped span.
+        """
+        if not self.mux.paused:
+            self.mux.pause()
+        chunks = 0
+        executed = 0
+        for _ in range(int(n_ticks)):
+            if self.mux.done:
+                break
+            chunks += self.mux.tick()
+            executed += 1
+        return {
+            "ticks": executed,
+            "chunks": chunks,
+            "now_s": self.mux.now_s,
+            "done": self.mux.done,
+        }
+
+    # -- inspection ---------------------------------------------------------
+
+    def fleet(self) -> Dict[str, Any]:
+        """Fleet-level snapshot: clock, ledgers, pool pressure."""
+        totals = self.mux.totals()
+        return {
+            "now_s": self.mux.now_s,
+            "ticks": self.mux.ticks,
+            "streams": self.mux.n_streams,
+            "paused": self.mux.paused,
+            "done": self.mux.done,
+            "shed_fraction": self.mux.shed_fraction(),
+            "pool": {
+                "n_slabs": self.mux.pool.n_slabs,
+                "in_use": self.mux.pool.in_use,
+                "high_watermark": self.mux.pool.high_watermark,
+            },
+            "totals": totals,
+        }
+
+    def inspect(self, stream_id: str) -> Dict[str, Any]:
+        """Everything observable about one stream, as a plain dict."""
+        state = self.mux.state(stream_id)
+        receiver = state.mux.receiver
+        out: Dict[str, Any] = {
+            "stream_id": stream_id,
+            "priority": state.priority,
+            "policy": state.queue.policy,
+            "capacity": state.queue.capacity,
+            "queued_chunks": len(state.queue),
+            "queued_samples": state.queue.buffered_samples,
+            "pending_samples": state.mux.pending_samples,
+            "occupancy": state.queue.occupancy,
+            "service_rate_sps": state.service_rate_sps,
+            "budget_carry": state.carry,
+            "exhausted": state.exhausted,
+            "done": state.done,
+            "counters": state.counters.as_dict(),
+            "events": len(state.events),
+            "group_key": list(state.mux.group_key),
+        }
+        sstft = state.mux.sstft
+        out["receiver"] = {
+            "kind": type(receiver).__name__,
+            "n_samples": sstft.n_samples,
+            "n_frames": sstft.n_frames,
+        }
+        synchronized = getattr(receiver, "synchronized", None)
+        if synchronized is not None:
+            out["receiver"]["synchronized"] = bool(synchronized)
+        return out
+
+    # -- poking -------------------------------------------------------------
+
+    def poke(
+        self,
+        stream_id: str,
+        samples: np.ndarray,
+        now_s: Optional[float] = None,
+    ) -> List:
+        """Push samples through one stream's receiver, per-stream path.
+
+        Bypasses the source, queue, budget, and the batched group
+        kernel; the receiver sees the samples exactly as a lone
+        :class:`~repro.stream.receiver.StreamingReceiver` would.  The
+        stream's ledger is untouched (poked samples are outside the
+        conservation invariant by design - they never entered the
+        pool), but the receiver's envelope does advance, so poke on a
+        live stream only when that is the point.
+
+        Returns the receiver events the poke emitted.
+        """
+        state = self.mux.state(stream_id)
+        if state.mux.pending_samples:
+            raise RuntimeError(
+                f"stream {stream_id!r} has staged tick deliveries; step "
+                "the fleet (or drain it) before poking, or the poked "
+                "samples would interleave mid-tick"
+            )
+        when = self.mux.now_s if now_s is None else float(now_s)
+        state.expected_next += int(np.asarray(samples).size)
+        return state.mux.receiver.push_samples(
+            np.asarray(samples), when
+        )
+
+    def drain(self, stream_id: str) -> int:
+        """Service one stream's whole queue now, ignoring its budget.
+
+        Uses the normal delivery path (shed hook, gap fill, ledger)
+        followed by a single-group demod tick, so conservation still
+        holds afterwards.  Returns the number of chunks serviced.
+        """
+        from .dsp import tick_group
+
+        state = self.mux.state(stream_id)
+        n = 0
+        while len(state.queue):
+            chunk = state.queue.pop()
+            self.mux._dispatch(state, chunk, pooled=True)
+            n += 1
+        if state.mux.pending_samples:
+            for ms, events in tick_group([state.mux], self.mux.now_s):
+                if events:
+                    state.events.extend(events)
+        return n

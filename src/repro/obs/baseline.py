@@ -164,6 +164,64 @@ def _stream_covert_tiny() -> Dict[str, float]:
         return flatten(registry.snapshot())
 
 
+def _mux_mixed_tiny() -> Dict[str, float]:
+    """A tiny mixed fleet through the streaming multiplexer.
+
+    Six streams - covert, keylog, and clockmod slices with fixed seeds -
+    run through the batched cross-stream DSP path.  One slice is
+    deliberately under-budgeted (jitter-free, so the shed pattern is
+    exact), pinning the drop/shed/gap ledger alongside the lossless
+    slices' finalised decodes.  The decode digests are folded into
+    gauges (first 8 hex digits as an integer), so any bit-level
+    divergence between the batched path and the per-stream reference
+    fails the gate, not just throughput-shaped drift.
+    """
+    from ..mux import (
+        FleetStreamSpec,
+        build_multiplexer,
+        finalized_digests,
+    )
+
+    fleet = [
+        FleetStreamSpec("stream-covert", count=2, duration_s=0.4),
+        FleetStreamSpec("keylog", count=2, duration_s=0.4),
+        FleetStreamSpec(
+            "clockmod-fsk",
+            count=2,
+            duration_s=0.4,
+            capacity=4,
+            service_rate_factor=0.5,
+            jitter_rel=0.0,
+        ),
+    ]
+    with metrics_scope() as registry:
+        mux, by_stream = build_multiplexer(
+            fleet, chunk_size=512, tick_chunks=4
+        )
+        mux.run()
+        mux.check_conservation()
+        totals = mux.totals()
+        for key in (
+            "produced_chunks",
+            "delivered_chunks",
+            "dropped_chunks",
+            "shed_chunks",
+            "delivered_samples",
+            "gap_samples",
+        ):
+            registry.gauge(f"mux.totals.{key}").set(totals[key])
+        registry.gauge("mux.ticks").set(mux.ticks)
+        registry.gauge("mux.shed_fraction").set(mux.shed_fraction())
+        registry.gauge("mux.pool.high_watermark").set(
+            mux.pool.high_watermark
+        )
+        for stream_id, digest in finalized_digests(mux, by_stream).items():
+            registry.gauge(f"mux.digest.{stream_id}").set(
+                int(digest[:8], 16)
+            )
+        return flatten(registry.snapshot())
+
+
 def _sweep_table2_tiny() -> Dict[str, float]:
     """The Table II sweep through the key-DAG engine.
 
@@ -232,6 +290,7 @@ SCENARIOS: Dict[str, Callable[[], Dict[str, float]]] = {
     "chain-emission-tiny": _chain_emission_tiny,
     "covert-inspiron-tiny": _covert_inspiron_tiny,
     "keylog-quick-fox": _keylog_quick_fox,
+    "mux-mixed-tiny": _mux_mixed_tiny,
     "scenario-clockmod-tiny": _scenario_clockmod_tiny,
     "scenario-ichannels-tiny": _scenario_ichannels_tiny,
     "stream-covert-tiny": _stream_covert_tiny,

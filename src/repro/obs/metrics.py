@@ -355,6 +355,69 @@ def tap_stream_summary(events_per_s: float, high_watermark: int) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Fleet-multiplexer taps (repro.mux).  Aggregate, not per-stream: a
+# 10k-stream fleet must not mint 10k metric names, so the mux reports
+# fleet-wide counters/histograms and leaves per-stream detail to
+# MuxStreamStats (manifests) and the interactive inspect API.
+
+
+def tap_mux_tick(n_streams: int, n_chunks: int, n_samples: int) -> None:
+    """One scheduler tick: streams serviced, chunks and samples moved."""
+    reg = _registry.get()
+    if reg is None:
+        return
+    reg.counter("mux.ticks").inc()
+    reg.counter("mux.chunks").inc(n_chunks)
+    reg.counter("mux.samples").inc(n_samples)
+    reg.histogram("mux.tick.streams").observe(float(n_streams))
+
+
+def tap_mux_group(n_streams: int, n_frames: int, seconds: float) -> None:
+    """One cross-stream batched DSP kernel call (one config group)."""
+    reg = _registry.get()
+    if reg is None:
+        return
+    reg.counter("mux.group.calls").inc()
+    reg.histogram("mux.group.streams").observe(float(n_streams))
+    reg.histogram("mux.group.frames").observe(float(n_frames))
+    reg.histogram("mux.group.seconds").observe(seconds)
+
+
+def tap_mux_shed(n_chunks: int, n_samples: int) -> None:
+    """Chunks shed at ingest (scheduler backpressure / injection)."""
+    reg = _registry.get()
+    if reg is None:
+        return
+    reg.counter("mux.shed.chunks").inc(n_chunks)
+    reg.counter("mux.shed.samples").inc(n_samples)
+
+
+def tap_mux_drop(n_chunks: int, n_samples: int) -> None:
+    """Chunks evicted from pool-backed stream queues (drop-oldest)."""
+    reg = _registry.get()
+    if reg is None:
+        return
+    reg.counter("mux.dropped.chunks").inc(n_chunks)
+    reg.counter("mux.dropped.samples").inc(n_samples)
+
+
+def tap_mux_summary(
+    n_streams: int,
+    events: int,
+    shed_fraction: float,
+    slab_high_watermark: int,
+) -> None:
+    """End-of-run fleet levels."""
+    reg = _registry.get()
+    if reg is None:
+        return
+    reg.gauge("mux.streams").set(float(n_streams))
+    reg.gauge("mux.events").set(float(events))
+    reg.gauge("mux.shed_fraction").set(shed_fraction)
+    reg.gauge("mux.pool.high_watermark").set(float(slab_high_watermark))
+
+
+# ---------------------------------------------------------------------------
 # Sweep-engine tap (repro.sweep)
 
 

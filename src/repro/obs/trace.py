@@ -61,6 +61,9 @@ REGISTERED_SPANS = frozenset(
         "batch.kernel",
         "dither",
         "emission",
+        "mux.group",
+        "mux.run",
+        "mux.tick",
         "parallel_map",
         "pmu",
         "propagation",

@@ -147,15 +147,28 @@ class StreamingSTFT:
             sample_rate=self.sample_rate,
         )
 
-    def push(self, samples: np.ndarray) -> Tuple[np.ndarray, int]:
-        """Feed one chunk; returns ``(new_magnitudes, first_frame_index)``.
+    @property
+    def window_values(self) -> np.ndarray:
+        """The window coefficients applied to each frame."""
+        return self._win
 
-        ``new_magnitudes`` has shape ``(n_new, n_bins)`` (possibly zero
-        rows when the chunk does not complete a frame);
-        ``first_frame_index`` is the global index of its first row.
+    def stage(self, samples: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Append a chunk and expose the newly completed *raw* frames.
+
+        Returns ``(frames, first_frame_index)`` where ``frames`` is a
+        strided view of shape ``(n_new, fft_size)`` over the internal
+        buffer - no window applied, no FFT taken.  The view is valid
+        until the next :meth:`stage`/:meth:`push` on this instance
+        (:meth:`complete` only advances offsets, it never moves data).
+
+        The split exists for the fleet multiplexer: many streams with
+        the same STFT configuration stage their frames, the caller
+        stacks the views row-wise and runs **one** windowed FFT over
+        the stack, then calls :meth:`complete` per stream.  NumPy's
+        pocketfft transforms each row of a 2D FFT independently, so the
+        stacked call is bit-for-bit the per-stream :meth:`push`.
         """
         samples = np.asarray(samples)
-        first = self._emitted
         if samples.size:
             self._append(samples)
             self._received += samples.size
@@ -165,11 +178,40 @@ class StreamingSTFT:
         available = self._received - next_start
         n_new = frame_count(available, self.fft_size, self.hop) if available > 0 else 0
         if n_new == 0:
-            return np.empty((0, self.frequencies.size)), first
+            return (
+                np.empty((0, self.fft_size), dtype=self._storage.dtype),
+                self._emitted,
+            )
         local = self._off + (next_start - self._buf_start)
         frames = sliding_window_view(
             self._storage[local : self._off + self._len], self.fft_size
         )[:: self.hop][:n_new]
+        return frames, self._emitted
+
+    def complete(self, n_new: int) -> None:
+        """Mark ``n_new`` staged frames emitted and release their samples."""
+        if n_new <= 0:
+            return
+        self._emitted += n_new
+        keep_from = min(self._emitted * self.hop, self._received)
+        if keep_from > self._buf_start:
+            # Consume in place: advance the offset, never reallocate.
+            delta = keep_from - self._buf_start
+            self._off += delta
+            self._len -= delta
+            self._buf_start = keep_from
+
+    def push(self, samples: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Feed one chunk; returns ``(new_magnitudes, first_frame_index)``.
+
+        ``new_magnitudes`` has shape ``(n_new, n_bins)`` (possibly zero
+        rows when the chunk does not complete a frame);
+        ``first_frame_index`` is the global index of its first row.
+        """
+        frames, first = self.stage(samples)
+        n_new = frames.shape[0]
+        if n_new == 0:
+            return np.empty((0, self.frequencies.size)), first
         # Identical arithmetic to the batch stft(): window, FFT, shift,
         # magnitude - on identical float rows, so the outputs match bit
         # for bit regardless of how the stream was chunked.
@@ -179,14 +221,7 @@ class StreamingSTFT:
         else:
             spectra = np.fft.rfft(frames * self._win, axis=1)
         mags = np.abs(spectra)
-        self._emitted += n_new
-        keep_from = min(self._emitted * self.hop, self._received)
-        if keep_from > self._buf_start:
-            # Consume in place: advance the offset, never reallocate.
-            delta = keep_from - self._buf_start
-            self._off += delta
-            self._len -= delta
-            self._buf_start = keep_from
+        self.complete(n_new)
         return mags, first
 
     def times(self, first_frame: int, n_frames: int) -> np.ndarray:

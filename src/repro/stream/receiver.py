@@ -145,6 +145,7 @@ class StreamingReceiver:
         frame_format: Optional[FrameFormat] = None,
         rolling_bits: int = 64,
         on_event: Optional[Callable[[BitEvent], None]] = None,
+        online: bool = True,
     ):
         if vrm_frequency_hz <= 0:
             raise ValueError("VRM frequency must be positive")
@@ -156,6 +157,15 @@ class StreamingReceiver:
         self.config = config
         self.frame_format = frame_format
         self.on_event = on_event
+        #: When False, the per-chunk online detectors (edge convolution,
+        #: peak scan, rolling-threshold labelling) are skipped entirely;
+        #: the receiver only accumulates the envelope and decodes at
+        #: :meth:`finalize`.  The finalised bits are identical either
+        #: way (they depend only on the envelope).  Fleet-scale
+        #: multiplexing runs receivers deferred by default - per-chunk
+        #: peak scans across 10k streams are the scaling bottleneck,
+        #: and provisional events are only useful on watched streams.
+        self.online = bool(online)
         acquisition = config.acquisition_for(
             expected_bit_period_s, meta.sample_rate
         )
@@ -214,6 +224,16 @@ class StreamingReceiver:
         """Pre-size the STFT chunk buffer for reallocation-free pushes."""
         self._band.reserve(n_samples)
 
+    @property
+    def band(self) -> StreamingBandEnergy:
+        """The incremental Eq. 1 envelope this receiver consumes.
+
+        Exposed so the fleet multiplexer can stage the underlying STFT
+        into a cross-stream batched kernel and hand the resulting
+        envelope increments back through :meth:`push_envelope`.
+        """
+        return self._band
+
     def envelope(self) -> Envelope:
         """The accumulated Eq. 1 envelope (batch-identical, drop-free)."""
         return Envelope(
@@ -227,10 +247,24 @@ class StreamingReceiver:
     def push_samples(self, samples: np.ndarray, now_s: float) -> List[BitEvent]:
         """Feed one chunk of IQ samples; returns newly emitted events."""
         y_new, t_new = self._band.push(samples)
+        return self.push_envelope(y_new, t_new, now_s)
+
+    def push_envelope(
+        self, y_new: np.ndarray, t_new: np.ndarray, now_s: float
+    ) -> List[BitEvent]:
+        """Feed precomputed Eq. 1 envelope frames (mux batched-DSP path).
+
+        ``y_new``/``t_new`` must be exactly what :attr:`band` would have
+        produced for the corresponding samples - the multiplexer
+        guarantees this by staging this stream's frames into the group
+        kernel and completing the same frame count.
+        """
         if y_new.size == 0:
             return []
         self._y = np.concatenate([self._y, y_new])
         self._times = np.concatenate([self._times, t_new])
+        if not self.online:
+            return []
         return self._advance(now_s)
 
     def push_gap(self, n_samples: int, now_s: float) -> List[BitEvent]:
@@ -423,6 +457,7 @@ class StreamingKeystrokeDetector:
         config: KeylogDetectorConfig = KeylogDetectorConfig(),
         rolling_windows: int = 512,
         on_event: Optional[Callable[[KeystrokeEvent], None]] = None,
+        online: bool = True,
     ):
         if vrm_frequency_hz <= 0:
             raise ValueError("VRM frequency must be positive")
@@ -430,6 +465,9 @@ class StreamingKeystrokeDetector:
         self.vrm_frequency_hz = vrm_frequency_hz
         self.config = config
         self.on_event = on_event
+        #: Same contract as :attr:`StreamingReceiver.online`: False
+        #: defers all detection to :meth:`finalize` (identical result).
+        self.online = bool(online)
         window = max(int(config.window_s * meta.sample_rate), 8)
         sstft = StreamingSTFT(
             meta.sample_rate,
@@ -461,18 +499,47 @@ class StreamingKeystrokeDetector:
         """Pre-size the STFT chunk buffer for reallocation-free pushes."""
         self._band.reserve(n_samples)
 
-    def push_samples(
-        self, samples: np.ndarray, now_s: float
-    ) -> List[KeystrokeEvent]:
+    @property
+    def band(self) -> StreamingBandEnergy:
+        """The incremental band energy this detector consumes (mux hook)."""
+        return self._band
+
+    def account_samples(self, samples: np.ndarray) -> None:
+        """Fold a chunk into the RMS accumulator without demodulating.
+
+        The mux batched-DSP path stages the samples into the group STFT
+        kernel itself, so only the |x|^2 bookkeeping (needed by
+        :meth:`finalize` to recover the batch path's pre-FFT
+        normalisation) remains per-stream.
+        """
         samples = np.asarray(samples)
         if samples.size:
             self._power_sum += float(np.sum(np.abs(samples) ** 2))
             self._n_samples += samples.size
+
+    def push_samples(
+        self, samples: np.ndarray, now_s: float
+    ) -> List[KeystrokeEvent]:
+        samples = np.asarray(samples)
+        self.account_samples(samples)
         energy, times = self._band.push(samples)
+        return self.push_envelope(energy, times, now_s)
+
+    def push_envelope(
+        self, energy: np.ndarray, times: np.ndarray, now_s: float
+    ) -> List[KeystrokeEvent]:
+        """Feed precomputed band-energy windows (mux batched-DSP path).
+
+        The caller must have already routed the raw samples through
+        :meth:`account_samples` so :meth:`finalize` can undo the RMS
+        scale.
+        """
         if energy.size == 0:
             return []
         self._energy = np.concatenate([self._energy, energy])
         self._times = np.concatenate([self._times, times])
+        if not self.online:
+            return []
         return self._advance(energy, times, now_s)
 
     def push_gap(self, n_samples: int, now_s: float) -> List[KeystrokeEvent]:

@@ -1,0 +1,69 @@
+"""Shared fixtures for the fleet-multiplexer tests.
+
+Synthetic noise captures stand in for rendered scenarios everywhere the
+property under test is scheduling or DSP equivalence - rendering real
+scenario captures is reserved for ``test_fleet.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mux.pool import ChunkPool
+from repro.mux.scheduler import StreamMultiplexer
+from repro.stream import CaptureChunkSource, StreamingReceiver
+from repro.types import IQCapture
+
+SAMPLE_RATE = 24_000.0
+VRM_HZ = 5_000.0
+
+
+def make_capture(n_samples, seed=0, sample_rate=SAMPLE_RATE):
+    rng = np.random.default_rng(seed)
+    samples = (
+        rng.normal(size=n_samples) + 1j * rng.normal(size=n_samples)
+    ).astype(np.complex64)
+    return IQCapture(
+        samples=samples, sample_rate=sample_rate, center_frequency=0.0
+    )
+
+
+def make_source(capture, chunk_size, jitter_rel=0.0, jitter_seed=0):
+    return CaptureChunkSource(
+        capture,
+        chunk_size,
+        jitter_rel=jitter_rel,
+        rng=np.random.default_rng(jitter_seed),
+    )
+
+
+def make_receiver(source, online=False, vrm_hz=VRM_HZ):
+    return StreamingReceiver(source.meta, vrm_hz, online=online)
+
+
+def make_mux(
+    captures,
+    chunk_size=256,
+    tick_chunks=4,
+    n_slabs=None,
+    shed_hook=None,
+    **stream_kwargs,
+):
+    """One mux over synthetic captures, one stream per capture."""
+    tick_s = tick_chunks * chunk_size / SAMPLE_RATE
+    capacity = stream_kwargs.get("capacity", 2 * tick_chunks)
+    if n_slabs is None:
+        n_slabs = max(1, capacity * len(captures))
+    pool = ChunkPool(n_slabs, chunk_size)
+    mux = StreamMultiplexer(pool, tick_s=tick_s, shed_hook=shed_hook)
+    for i, capture in enumerate(captures):
+        source = make_source(capture, chunk_size, jitter_seed=i)
+        kwargs = {"capacity": capacity, **stream_kwargs}
+        mux.add_stream(
+            f"s{i:03d}", source, make_receiver(source), **kwargs
+        )
+    return mux
+
+
+@pytest.fixture
+def capture():
+    return make_capture(8_192)

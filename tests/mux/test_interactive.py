@@ -1,0 +1,135 @@
+"""Interactive fleet control: pause/step/inspect/poke, asyncio gating."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.mux.interactive import InteractiveMux
+
+from .conftest import SAMPLE_RATE, make_capture, make_mux
+
+
+@pytest.fixture
+def fleet():
+    mux = make_mux([make_capture(8_192, seed=s) for s in range(2)])
+    return InteractiveMux(mux)
+
+
+class TestStepping:
+    def test_step_runs_exactly_n_ticks(self, fleet):
+        out = fleet.step(2)
+        assert out["ticks"] == 2
+        assert fleet.mux.ticks == 2
+        assert fleet.paused  # stepping pauses the fleet
+        assert not out["done"]
+
+    def test_step_stops_at_done(self, fleet):
+        out = fleet.step(1_000)
+        assert out["done"]
+        assert out["ticks"] < 1_000
+        fleet.mux.check_conservation()
+
+    def test_fleet_snapshot(self, fleet):
+        fleet.step(1)
+        snap = fleet.fleet()
+        assert snap["streams"] == 2
+        assert snap["ticks"] == 1
+        assert snap["paused"] is True
+        assert snap["pool"]["n_slabs"] == fleet.mux.pool.n_slabs
+        assert snap["totals"]["produced_chunks"] > 0
+
+    def test_inspect_one_stream(self, fleet):
+        fleet.step(1)
+        info = fleet.inspect("s000")
+        assert info["stream_id"] == "s000"
+        assert info["policy"] == "drop-oldest"
+        assert info["counters"]["delivered_chunks"] > 0
+        assert info["receiver"]["kind"] == "StreamingReceiver"
+        assert info["receiver"]["n_samples"] > 0
+        assert len(info["group_key"]) == 5
+        with pytest.raises(KeyError):
+            fleet.inspect("nope")
+
+
+class TestPoke:
+    def test_poke_advances_one_receiver_only(self, fleet):
+        fleet.step(1)
+        before = [
+            fleet.inspect(sid)["receiver"]["n_samples"]
+            for sid in ("s000", "s001")
+        ]
+        samples = make_capture(512, seed=9).samples
+        fleet.poke("s000", samples)
+        after = [
+            fleet.inspect(sid)["receiver"]["n_samples"]
+            for sid in ("s000", "s001")
+        ]
+        assert after[0] == before[0] + 512
+        assert after[1] == before[1]
+
+    def test_poked_stream_keeps_decoding(self, fleet):
+        # the fleet continues normally after a poke; conservation is
+        # untouched (poked samples never entered the pool)
+        fleet.step(1)
+        fleet.poke("s000", make_capture(256, seed=9).samples)
+        fleet.step(1_000)
+        fleet.mux.check_conservation()
+
+
+class TestDrain:
+    def test_drain_services_whole_queue(self):
+        mux = make_mux(
+            [make_capture(8_192)],
+            capacity=64,
+            service_rate_sps=SAMPLE_RATE * 0.25,
+        )
+        im = InteractiveMux(mux)
+        im.step(2)
+        assert im.inspect("s000")["queued_chunks"] > 0
+        n = im.drain("s000")
+        assert n > 0
+        info = im.inspect("s000")
+        assert info["queued_chunks"] == 0
+        assert info["pending_samples"] == 0
+        mux.check_conservation()
+
+
+class TestAsyncRun:
+    def test_pause_gates_ticks_resume_completes(self, fleet):
+        mux = fleet.mux
+
+        async def drive():
+            task = asyncio.create_task(mux.run_async())
+            while mux.ticks < 1:
+                await asyncio.sleep(0)
+            fleet.pause()
+            await asyncio.sleep(0)
+            frozen = mux.ticks
+            for _ in range(20):
+                await asyncio.sleep(0)
+            assert mux.ticks == frozen  # gated at a tick boundary
+            fleet.resume()
+            await task
+
+        asyncio.run(drive())
+        assert mux.done
+        mux.check_conservation()
+
+    def test_async_result_matches_sync(self):
+        sync = make_mux([make_capture(8_192, seed=3)])
+        sync.run()
+
+        async_mux = make_mux([make_capture(8_192, seed=3)])
+        asyncio.run(async_mux.run_async())
+
+        assert async_mux.totals() == sync.totals()
+        np.testing.assert_array_equal(
+            async_mux.state("s000").mux.receiver.finalize().bits,
+            sync.state("s000").mux.receiver.finalize().bits,
+        )
+
+    def test_max_ticks_respected(self, fleet):
+        executed = asyncio.run(fleet.mux.run_async(max_ticks=2))
+        assert executed == 2
+        assert fleet.mux.ticks == 2
