@@ -1,19 +1,27 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test lint lint-baseline bench bench-parallel bench-stream bench-sweep bench-vector smoke-batch smoke-mux smoke-parallel smoke-scenario smoke-stream smoke-sweep regress regress-record
+.PHONY: test lint lint-fast lint-baseline bench bench-lint bench-parallel bench-stream bench-sweep bench-vector smoke-batch smoke-mux smoke-parallel smoke-scenario smoke-stream smoke-sweep regress regress-record
 
 test:
 	$(PY) -m pytest -x -q
 
 # Static-analysis gate, three layers:
-#   1. repro.lint  - repo-specific determinism & cache-coherence rules
-#                    (DET/CACHE/CONC/TRACE/FLOAT, see DESIGN.md section 13)
+#   1. repro.lint  - repo-specific determinism, cache-coherence and
+#                    cross-module flow rules (DET/CACHE/CONC/TRACE/
+#                    FLOAT/ASYNC/RES/SCEN, see DESIGN.md sections 13+17)
+#                    over src/repro, plus a narrowed determinism pass
+#                    (DET001/DET002) over tests/ and benchmarks/ - the
+#                    repro-scoped cross-module rules do not apply there
 #   2. ruff        - general pyflakes/pycodestyle errors + format check
 #   3. mypy        - types, strict on repro.exec / repro.sweep
 # ruff and mypy are optional locally (install with `pip install -e
 # '.[lint]'`); CI always runs all three.
 lint:
 	$(PY) -m repro lint
+	$(PY) -m repro lint --root . --package tests \
+		--select DET001 --select DET002 --no-baseline
+	$(PY) -m repro lint --root . --package benchmarks \
+		--select DET001 --select DET002 --no-baseline
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks && \
 		ruff format --check src/repro/lint tests/lint; \
@@ -26,6 +34,16 @@ lint:
 		echo "mypy not installed; skipping (pip install -e '.[lint]')"; \
 	fi
 
+# The repro.lint pass only, through the incremental cache
+# (src/.lint-cache): a warm run over an unchanged tree is a content-
+# hash check plus one JSON read (see BENCH_lint.json).
+lint-fast:
+	$(PY) -m repro lint --cache
+	$(PY) -m repro lint --cache --root . --package tests \
+		--select DET001 --select DET002 --no-baseline
+	$(PY) -m repro lint --cache --root . --package benchmarks \
+		--select DET001 --select DET002 --no-baseline
+
 # Accept the current repro.lint findings as the new baseline
 # (reviewable diff in src/repro/lint/baseline.json).
 lint-baseline:
@@ -33,6 +51,13 @@ lint-baseline:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# Time a cold full lint of the shipped tree against a warm cached run
+# (content hashes + one run-layer JSON read) and record both sides and
+# the speedup (floor: 3x) to BENCH_lint.json.
+bench-lint:
+	$(PY) -m pytest benchmarks/test_bench_lint.py \
+		--benchmark-only --benchmark-json=BENCH_lint.json
 
 # Time the execution subsystem (trial pool + chain cache) and record
 # the numbers, including extra_info speedups, to BENCH_parallel.json.

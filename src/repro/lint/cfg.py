@@ -1,0 +1,343 @@
+"""Lightweight per-function control-flow graph for the flow-aware rules.
+
+One node per *statement* plus three synthetic markers (entry, normal
+exit, raise exit) and per-construct join markers.  Edges model the
+explicit control flow: if/elif/else, while/for (with else and
+break/continue), with, try/except/else/finally, return, raise.
+
+Exception edges are deliberately minimal: a statement gets an
+exceptional successor only when it sits directly in a ``try`` body
+(edge to each handler entry and to the finally entry), and an explicit
+``raise`` jumps to the innermost enclosing handlers/finally or to the
+raise exit.  We do **not** pretend every expression can raise - that
+would make "released on all paths" unprovable for any real function.
+The polarity is the usual lint trade-off: the CFG under-approximates
+exceptional paths, and the resource rule compensates by treating the
+``try``-body edges (where acquire/release races actually live) exactly.
+
+``finally`` bodies are built once; jumps that route through them
+(return/break/continue/raise plus normal completion) are merged at the
+finally exit, a path over-approximation that can only produce extra
+paths, never hide one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+ENTRY = 0
+EXIT = 1
+RAISE_EXIT = 2
+
+
+@dataclass
+class CFG:
+    """Statement-level control-flow graph of one function body."""
+
+    #: node id -> AST statement (None for synthetic markers).
+    stmts: Dict[int, Optional[ast.stmt]] = field(default_factory=dict)
+    #: node id -> marker label for synthetic nodes.
+    labels: Dict[int, str] = field(default_factory=dict)
+    succ: Dict[int, Set[int]] = field(default_factory=dict)
+    #: exceptional successors: taken *before* the statement's effect.
+    exc_succ: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def node_ids(self) -> List[int]:
+        return sorted(self.stmts)
+
+    def preds(self) -> Dict[int, Set[int]]:
+        back: Dict[int, Set[int]] = {n: set() for n in self.stmts}
+        for src, dsts in self.succ.items():
+            for dst in dsts:
+                back.setdefault(dst, set()).add(src)
+        for src, dsts in self.exc_succ.items():
+            for dst in dsts:
+                back.setdefault(dst, set()).add(src)
+        return back
+
+
+@dataclass
+class _TryCtx:
+    handler_entries: List[int]
+    finally_entry: Optional[int]
+    #: targets that must be reached *after* the finally body runs.
+    deferred: Set[int] = field(default_factory=set)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self._next = 3
+        for node_id, label in (
+            (ENTRY, "entry"),
+            (EXIT, "exit"),
+            (RAISE_EXIT, "raise-exit"),
+        ):
+            self.cfg.stmts[node_id] = None
+            self.cfg.labels[node_id] = label
+            self.cfg.succ[node_id] = set()
+            self.cfg.exc_succ[node_id] = set()
+        self._loops: List[Dict[str, object]] = []
+        self._tries: List[_TryCtx] = []
+
+    # -- plumbing ----------------------------------------------------------
+
+    def new_node(
+        self, stmt: Optional[ast.stmt] = None, label: str = ""
+    ) -> int:
+        node_id = self._next
+        self._next += 1
+        self.cfg.stmts[node_id] = stmt
+        if label:
+            self.cfg.labels[node_id] = label
+        self.cfg.succ[node_id] = set()
+        self.cfg.exc_succ[node_id] = set()
+        return node_id
+
+    def connect(self, frontier: Set[int], node_id: int) -> None:
+        for src in frontier:
+            self.cfg.succ[src].add(node_id)
+
+    def _exceptional_targets(self) -> List[int]:
+        if not self._tries:
+            return []
+        ctx = self._tries[-1]
+        targets = list(ctx.handler_entries)
+        if ctx.finally_entry is not None:
+            targets.append(ctx.finally_entry)
+            ctx.deferred.add(RAISE_EXIT)
+        return targets
+
+    def _jump(self, node_id: int, ultimate: int) -> None:
+        """Route a jump through enclosing finally bodies, if any."""
+        for ctx in reversed(self._tries):
+            if ctx.finally_entry is not None:
+                self.cfg.succ[node_id].add(ctx.finally_entry)
+                ctx.deferred.add(ultimate)
+                return
+        self.cfg.succ[node_id].add(ultimate)
+
+    # -- statement dispatch ------------------------------------------------
+
+    def block(
+        self, stmts: Sequence[ast.stmt], frontier: Set[int]
+    ) -> Set[int]:
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable code after return/raise/break
+            frontier = self.statement(stmt, frontier)
+        return frontier
+
+    def statement(self, stmt: ast.stmt, frontier: Set[int]) -> Set[int]:
+        handler = getattr(
+            self, f"_stmt_{type(stmt).__name__.lower()}", None
+        )
+        if handler is not None:
+            return handler(stmt, frontier)
+        node = self.new_node(stmt)
+        self.connect(frontier, node)
+        return {node}
+
+    def _stmt_if(self, stmt: ast.If, frontier: Set[int]) -> Set[int]:
+        test = self.new_node(stmt)
+        self.connect(frontier, test)
+        then_f = self.block(stmt.body, {test})
+        else_f = self.block(stmt.orelse, {test})
+        return then_f | else_f
+
+    def _loop(self, stmt, frontier: Set[int]) -> Set[int]:
+        head = self.new_node(stmt)
+        self.connect(frontier, head)
+        loop = {"head": head, "breaks": set()}
+        self._loops.append(loop)
+        body_f = self.block(stmt.body, {head})
+        self._loops.pop()
+        self.connect(body_f, head)  # back edge
+        else_f = self.block(stmt.orelse, {head})
+        exits: Set[int] = set(loop["breaks"])  # type: ignore[arg-type]
+        exits |= else_f if stmt.orelse else {head}
+        if stmt.orelse:
+            # `else` runs on normal exhaustion; breaks skip it.
+            return exits
+        return exits
+
+    _stmt_while = _loop
+    _stmt_for = _loop
+    _stmt_asyncfor = _loop
+
+    def _stmt_break(self, stmt: ast.Break, frontier: Set[int]) -> Set[int]:
+        node = self.new_node(stmt)
+        self.connect(frontier, node)
+        if self._loops:
+            self._loops[-1]["breaks"].add(node)  # type: ignore[union-attr]
+        return set()
+
+    def _stmt_continue(
+        self, stmt: ast.Continue, frontier: Set[int]
+    ) -> Set[int]:
+        node = self.new_node(stmt)
+        self.connect(frontier, node)
+        if self._loops:
+            self.cfg.succ[node].add(self._loops[-1]["head"])  # type: ignore[arg-type]
+        return set()
+
+    def _stmt_return(self, stmt: ast.Return, frontier: Set[int]) -> Set[int]:
+        node = self.new_node(stmt)
+        self.connect(frontier, node)
+        self._jump(node, EXIT)
+        return set()
+
+    def _stmt_raise(self, stmt: ast.Raise, frontier: Set[int]) -> Set[int]:
+        node = self.new_node(stmt)
+        self.connect(frontier, node)
+        if self._tries:
+            ctx = self._tries[-1]
+            for target in ctx.handler_entries:
+                self.cfg.succ[node].add(target)
+            if ctx.finally_entry is not None:
+                self.cfg.succ[node].add(ctx.finally_entry)
+                ctx.deferred.add(RAISE_EXIT)
+            if not ctx.handler_entries and ctx.finally_entry is None:
+                self._jump(node, RAISE_EXIT)
+        else:
+            self._jump(node, RAISE_EXIT)
+        return set()
+
+    def _with(self, stmt, frontier: Set[int]) -> Set[int]:
+        node = self.new_node(stmt)
+        self.connect(frontier, node)
+        return self.block(stmt.body, {node})
+
+    _stmt_with = _with
+    _stmt_asyncwith = _with
+
+    def _stmt_try(self, stmt: ast.Try, frontier: Set[int]) -> Set[int]:
+        entry = self.new_node(None, label="try")
+        self.connect(frontier, entry)
+        handler_entries = [
+            self.new_node(handler, label="except")
+            for handler in stmt.handlers
+        ]
+        finally_entry = (
+            self.new_node(None, label="finally") if stmt.finalbody else None
+        )
+        ctx = _TryCtx(handler_entries, finally_entry)
+        self._tries.append(ctx)
+        body_start = self._next  # ids are allocated in build order
+        body_f = self.block(stmt.body, {entry})
+        body_end = self._next
+        # Every try-body statement may divert to a handler / finally
+        # before its effect lands.
+        exceptional = handler_entries + (
+            [finally_entry] if finally_entry is not None else []
+        )
+        for node_id in range(body_start, body_end):
+            if self.cfg.stmts.get(node_id) is not None:
+                for target in exceptional:
+                    self.cfg.exc_succ[node_id].add(target)
+        self._tries.pop()
+        else_f = self.block(stmt.orelse, body_f) if stmt.orelse else body_f
+        handler_fs: Set[int] = set()
+        for handler, h_entry in zip(stmt.handlers, handler_entries):
+            handler_fs |= self.block(handler.body, {h_entry})
+        if finally_entry is not None:
+            self.connect(else_f | handler_fs, finally_entry)
+            final_f = self.block(stmt.finalbody, {finally_entry})
+            for target in ctx.deferred:
+                self.connect(final_f, target)
+            return set(final_f)
+        return else_f | handler_fs
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """CFG of a ``FunctionDef``/``AsyncFunctionDef`` body.
+
+    Nested function definitions are opaque single statements (their
+    bodies get their own CFGs when analyzed).
+    """
+    builder = _Builder()
+    builder.cfg.succ[ENTRY] = set()
+    frontier = builder.block(list(fn.body), {ENTRY})
+    builder.connect(frontier, EXIT)
+    return builder.cfg
+
+
+def dataflow_paths_reach(
+    cfg: CFG,
+    gen: Dict[int, Set[str]],
+    kill: Dict[int, Set[str]],
+) -> Dict[int, Set[str]]:
+    """Forward may-analysis: obligations live *entering* each node.
+
+    ``gen[n]`` introduces obligations after node ``n`` executes;
+    ``kill[n]`` discharges them.  Normal edges propagate the post-state
+    (IN - kill + gen); exceptional edges propagate the *pre*-state (the
+    statement may not have completed).  An obligation in ``IN[EXIT]``
+    or ``IN[RAISE_EXIT]`` is live on some path to that exit.
+    """
+    live_in: Dict[int, Set[str]] = {n: set() for n in cfg.stmts}
+    # Every node is processed at least once: gen sets must flow even
+    # when the incoming state is empty.
+    worklist: List[int] = list(cfg.stmts)
+    while worklist:
+        node = worklist.pop()
+        out_normal = (live_in[node] - kill.get(node, set())) | gen.get(
+            node, set()
+        )
+        for dst in cfg.succ.get(node, ()):  # normal edges: post-state
+            if not out_normal <= live_in[dst]:
+                live_in[dst] |= out_normal
+                worklist.append(dst)
+        for dst in cfg.exc_succ.get(node, ()):  # exc edges: pre-state
+            if not live_in[node] <= live_in[dst]:
+                live_in[dst] |= live_in[node]
+                worklist.append(dst)
+    return live_in
+
+
+def own_nodes(stmt: ast.AST) -> List[ast.AST]:
+    """Subexpressions evaluated *at* this CFG node.
+
+    Compound statements own only their header (test / iter / context
+    items / exception type) - their bodies have CFG nodes of their own,
+    so scanning the whole subtree would misattribute effects to the
+    header.  Nested function/class definitions own nothing executable
+    (their bodies run elsewhere).
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.target, stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        out: List[ast.AST] = []
+        for item in stmt.items:
+            out.append(item.context_expr)
+            if item.optional_vars is not None:
+                out.append(item.optional_vars)
+        return out
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    if isinstance(stmt, ast.Try):
+        return []
+    if isinstance(
+        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        return []
+    return [stmt]
+
+
+def walk_own(stmt: ast.AST):
+    """``ast.walk`` restricted to the node's own subexpressions."""
+    for root in own_nodes(stmt):
+        yield from ast.walk(root)
+
+
+def statements_of(cfg: CFG) -> Dict[int, ast.stmt]:
+    """Real (non-marker) statements by node id."""
+    return {
+        node_id: stmt
+        for node_id, stmt in cfg.stmts.items()
+        if stmt is not None
+    }

@@ -13,8 +13,11 @@ import sys
 from pathlib import Path
 from typing import Optional
 
+from dataclasses import replace
+
 from .baseline import write_baseline
-from .config import DEFAULT_CONFIG, LintConfig
+from .cache import LintCache
+from .config import LintConfig, load_config
 from .engine import rule_catalog, run_lint, write_schema_manifest
 
 
@@ -84,6 +87,38 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--package",
+        default=None,
+        metavar="NAME",
+        help="package directory under the root to walk "
+        "(default: from config; 'repro' in this repository)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="enable the incremental cache: warm runs with an "
+        "unchanged tree skip parsing and rules entirely",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="force-disable the incremental cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache location (default: <root>/.lint-cache; implies --cache)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel-parse worker budget for cold files "
+        "(the executor may still choose serial)",
+    )
 
 
 def _emit(text: str) -> None:
@@ -96,11 +131,16 @@ def _emit(text: str) -> None:
 
 
 def cmd_lint(args, config: Optional[LintConfig] = None) -> int:
-    config = config or DEFAULT_CONFIG
     if args.list_rules:
         _emit(rule_catalog())
         return 0
     root = Path(args.root) if args.root else default_root()
+    if config is None:
+        # Defaults overlaid with [tool.repro.lint] from pyproject.toml
+        # (at the root or one directory above it).
+        config = load_config(root)
+    if args.package:
+        config = replace(config, package=args.package)
     if args.update_schema:
         path = write_schema_manifest(root, config)
         print(f"chain-schema manifest written to {path}")
@@ -108,12 +148,20 @@ def cmd_lint(args, config: Optional[LintConfig] = None) -> int:
     baseline_path = args.baseline
     if args.no_baseline:
         baseline_path = False
+    cache = None
+    if (args.cache or args.cache_dir) and not args.no_cache:
+        cache_dir = (
+            Path(args.cache_dir) if args.cache_dir else root / ".lint-cache"
+        )
+        cache = LintCache(cache_dir)
     report = run_lint(
         root,
         config,
         select=args.select,
         paths=args.paths or None,
         baseline_path=baseline_path,
+        cache=cache,
+        jobs=args.jobs,
     )
     if args.write_baseline:
         path = (

@@ -11,12 +11,20 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .baseline import load_baseline
+from .cache import (
+    LintCache,
+    config_digest,
+    file_key,
+    finding_from_record,
+    run_key,
+    source_digest,
+)
 from .config import DEFAULT_CONFIG, LintConfig
 from .findings import Finding
-from .project import Project, SourceFile
+from .project import Project, SourceFile, parse_suppressions
 from .rules import Rule, all_rules
 
 
@@ -70,12 +78,12 @@ class LintReport:
         return path
 
 
-def load_project(
+def read_sources(
     root, config: LintConfig = DEFAULT_CONFIG
-) -> "tuple[Project, List[str]]":
-    """Parse every package module under ``root``; returns parse errors too."""
+) -> "tuple[Dict[str, str], List[str]]":
+    """Read (without parsing) every package module under ``root``."""
     root = Path(root)
-    project = Project(root=root)
+    sources: Dict[str, str] = {}
     errors: List[str] = []
     package_dir = root / config.package
     for path in sorted(package_dir.rglob("*.py")):
@@ -83,11 +91,88 @@ def load_project(
         if config.is_excluded(relpath):
             continue
         try:
-            source = path.read_text(encoding="utf-8")
-            project.files[relpath] = SourceFile.parse(relpath, source)
-        except (OSError, SyntaxError, ValueError) as exc:
+            sources[relpath] = path.read_text(encoding="utf-8")
+        except (OSError, ValueError) as exc:
             errors.append(f"{relpath}: {exc}")
+    return sources, errors
+
+
+def _parse_task(item: "tuple[str, str]") -> "tuple[str, object]":
+    """Worker-safe parse of one module: ("ok", SourceFile) or ("err", msg)."""
+    relpath, source = item
+    try:
+        return ("ok", SourceFile.parse(relpath, source))
+    except (SyntaxError, ValueError) as exc:
+        return ("err", f"{relpath}: {exc}")
+
+
+def parse_sources(
+    root,
+    sources: Dict[str, str],
+    *,
+    cache: Optional[LintCache] = None,
+    jobs: Optional[int] = None,
+) -> "tuple[Project, List[str]]":
+    """Build a :class:`Project` from read sources.
+
+    With a cache, unchanged files reuse their pickled ASTs (only the
+    cheap line/suppression scan reruns).  Cold files are parsed through
+    :func:`repro.exec.choose_executor` - serial on a single CPU, a
+    process pool when the host and file count justify the fork cost.
+    """
+    project = Project(root=Path(root))
+    errors: List[str] = []
+    pending: List["tuple[str, str]"] = []
+    for relpath, source in sources.items():
+        tree = cache.load_tree(source_digest(source)) if cache else None
+        if tree is not None:
+            lines = source.splitlines()
+            project.files[relpath] = SourceFile(
+                relpath=relpath,
+                source=source,
+                tree=tree,
+                lines=lines,
+                suppressions=parse_suppressions(lines),
+            )
+        else:
+            pending.append((relpath, source))
+    if pending:
+        from ..exec.executor import choose_executor
+
+        avg_bytes = sum(len(s) for _, s in pending) // len(pending)
+        decision = choose_executor(
+            len(pending), jobs=jobs, bytes_per_task=avg_bytes
+        )
+        if decision.mode == "processes" and decision.jobs > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=decision.jobs) as pool:
+                outcomes = list(pool.map(_parse_task, pending))
+        else:
+            outcomes = [_parse_task(item) for item in pending]
+        for status, value in outcomes:
+            if status == "ok":
+                project.files[value.relpath] = value
+                if cache is not None:
+                    cache.store_tree(source_digest(value.source), value.tree)
+            else:
+                errors.append(value)
+    # rglob order, regardless of which lane each file took.
+    project.files = dict(sorted(project.files.items()))
     return project, errors
+
+
+def load_project(
+    root,
+    config: LintConfig = DEFAULT_CONFIG,
+    *,
+    cache: Optional[LintCache] = None,
+    jobs: Optional[int] = None,
+) -> "tuple[Project, List[str]]":
+    """Parse every package module under ``root``; returns parse errors too."""
+    sources, read_errors = read_sources(root, config)
+    project, parse_errors = parse_sources(root, sources, cache=cache, jobs=jobs)
+    return project, read_errors + parse_errors
 
 
 def run_lint(
@@ -98,6 +183,8 @@ def run_lint(
     select: Optional[Sequence[str]] = None,
     paths: Optional[Sequence[str]] = None,
     baseline_path=None,
+    cache: Optional[LintCache] = None,
+    jobs: Optional[int] = None,
 ) -> LintReport:
     """Lint the tree under ``root`` and return the report.
 
@@ -106,25 +193,71 @@ def run_lint(
     given prefixes (project-level rules always see the whole tree -
     schema drift is not a per-file property).  ``baseline_path``
     overrides the config default; pass ``False`` to disable baselining.
+
+    ``cache`` enables the incremental layers (:mod:`repro.lint.cache`):
+    a fully warm run skips parsing and rules entirely and only
+    re-applies the baseline; a partial hit reuses per-file ASTs and
+    per-file findings for unchanged files.  ``jobs`` steers the
+    parallel-parse decision for cold files.
     """
     config = config or DEFAULT_CONFIG
-    project, errors = load_project(root, config)
     active_rules = list(rules) if rules is not None else all_rules()
     if select:
         wanted = {code.upper() for code in select}
         active_rules = [r for r in active_rules if r.code in wanted]
+    codes = tuple(rule.code for rule in active_rules)
+
+    sources, read_errors = read_sources(root, config)
+    cfg_digest = ""
+    shas: Dict[str, str] = {}
+    rkey = ""
+    if cache is not None:
+        cfg_digest = config_digest(config)
+        shas = {rel: source_digest(src) for rel, src in sources.items()}
+        rkey = run_key(shas.items(), cfg_digest, codes, paths)
+        payload = cache.load_run(rkey)
+        if payload is not None:
+            findings = [finding_from_record(r) for r in payload["findings"]]
+            _apply_baseline(Path(root), config, findings, baseline_path)
+            return LintReport(
+                findings=findings,
+                files_checked=int(payload["files_checked"]),
+                parse_errors=list(payload["parse_errors"]),
+            )
+    project, parse_errors = parse_sources(
+        root, sources, cache=cache, jobs=jobs
+    )
+    errors = read_errors + parse_errors
+
     findings: List[Finding] = []
     for sf in project.files.values():
         if paths and not any(sf.relpath.startswith(p) for p in paths):
             continue
-        for rule in active_rules:
-            findings.extend(rule.check_file(sf, project, config))
+        if cache is not None:
+            fkey = file_key(shas[sf.relpath], cfg_digest, codes)
+            cached = cache.load_file_findings(fkey)
+            if cached is not None:
+                findings.extend(cached)
+                continue
+            fresh: List[Finding] = []
+            for rule in active_rules:
+                fresh.extend(rule.check_file(sf, project, config))
+            cache.store_file_findings(fkey, fresh)
+            findings.extend(fresh)
+        else:
+            for rule in active_rules:
+                findings.extend(rule.check_file(sf, project, config))
     for rule in active_rules:
         findings.extend(rule.check_project(project, config))
 
     _apply_suppressions(project, findings)
-    _apply_baseline(project.root, config, findings, baseline_path)
     findings.sort(key=lambda f: f.sort_key())
+    if cache is not None:
+        # Stored post-suppression (suppressions derive from the hashed
+        # file content) but pre-baseline (the baseline file can change
+        # without touching the tree, so it is re-applied every run).
+        cache.store_run(rkey, findings, len(project.files), errors)
+    _apply_baseline(Path(root), config, findings, baseline_path)
     return LintReport(
         findings=findings,
         files_checked=len(project.files),

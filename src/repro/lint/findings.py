@@ -32,6 +32,10 @@ class Finding:
     message: str
     line_text: str = ""
     severity: str = "error"
+    #: End of the offending span (end_line 1-based inclusive, end_col
+    #: 0-based exclusive, as reported by ast); 0 = unknown.
+    end_line: int = 0
+    end_col: int = 0
     suppressed: bool = False  # a `# lint: disable=` comment covers it
     baselined: bool = False  # the committed baseline covers it
     meta: Dict[str, Any] = field(default_factory=dict)
@@ -46,7 +50,16 @@ class Finding:
         return not (self.suppressed or self.baselined)
 
     def as_dict(self) -> Dict[str, Any]:
-        """JSONL record for ``--format jsonl`` / ``--report``."""
+        """JSONL record for ``--format jsonl`` / ``--report``.
+
+        Record schema (documented in DESIGN §17): ``rule``, ``path``,
+        ``line``/``col`` (span start), ``end_line``/``end_col`` (span
+        end, present when known), ``severity``, ``message``,
+        ``fingerprint`` (content-addressed baseline identity),
+        ``suppressed``, ``baselined``, and optional ``meta`` - for
+        cross-module findings ``meta.chain`` lists the resolved call
+        chain as ``module:qualname`` steps.
+        """
         record: Dict[str, Any] = {
             "rule": self.rule,
             "path": self.path,
@@ -58,9 +71,33 @@ class Finding:
             "suppressed": self.suppressed,
             "baselined": self.baselined,
         }
+        if self.end_line:
+            record["end_line"] = self.end_line
+            record["end_col"] = self.end_col
         if self.meta:
             record["meta"] = self.meta
         return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "Finding":
+        """Rebuild a finding from its JSONL record (incremental cache).
+
+        ``line_text`` is carried in the record only via the cache (it
+        is what the fingerprint hashes), so the cache stores it
+        explicitly alongside; see ``repro.lint.cache``.
+        """
+        return cls(
+            rule=record["rule"],
+            path=record["path"],
+            line=record["line"],
+            col=record["col"],
+            message=record["message"],
+            line_text=record.get("line_text", ""),
+            severity=record.get("severity", "error"),
+            end_line=record.get("end_line", 0),
+            end_col=record.get("end_col", 0),
+            meta=dict(record.get("meta", {})),
+        )
 
     def as_jsonl(self) -> str:
         return json.dumps(self.as_dict(), sort_keys=True)

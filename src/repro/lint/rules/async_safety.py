@@ -1,0 +1,180 @@
+"""ASYNC001/ASYNC002: event-loop safety in the mux scheduler.
+
+The fleet multiplexer's ``run_async`` shares one event loop with every
+other coroutine the host embeds it in; a single ``time.sleep`` or
+fcntl-locked cache write anywhere in its (cross-module) call closure
+stalls every stream at once - exactly the tail-latency artifact the
+conservation ledger cannot attribute afterwards.  ASYNC001 walks the
+project call graph from each ``async def`` in the configured scopes
+and flags blocking primitives anywhere in the reachable closure, with
+the resolved call chain attached to the finding so the report shows
+*how* the loop gets from ``run_async`` to the offending call.
+
+ASYNC002 is the complementary local check: a call that produces an
+awaitable (a project ``async def`` or an ``asyncio.*`` coroutine
+factory) used as a bare expression statement never runs - the
+classic silently-dropped coroutine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from ..config import LintConfig
+from ..findings import Finding
+from ..graph import FunctionInfo, ProjectGraph, project_graph
+from ..project import Project
+from .base import Rule, dotted_name, import_aliases, resolved_call_name
+
+#: ``asyncio`` helpers that build coroutines/futures needing await.
+_ASYNCIO_AWAITABLES = {
+    "asyncio.sleep",
+    "asyncio.gather",
+    "asyncio.wait",
+    "asyncio.wait_for",
+    "asyncio.to_thread",
+    "asyncio.open_connection",
+}
+
+
+def _blocking_reason(
+    call: ast.Call, aliases: Dict[str, str], config: LintConfig
+) -> str:
+    """Why this call blocks the loop, or "" when it does not."""
+    resolved = resolved_call_name(call, aliases)
+    if resolved in config.blocking_calls:
+        return f"blocking call {resolved}()"
+    dotted = dotted_name(call.func)
+    if dotted is not None:
+        for suffix in config.blocking_attr_calls:
+            if dotted == suffix or dotted.endswith("." + suffix):
+                return f"pool fan-out {dotted}() blocks until every task returns"
+    if (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr in config.blocking_io_methods
+    ):
+        return f"file I/O .{call.func.attr}()"
+    return ""
+
+
+class AsyncBlockingRule(Rule):
+    """ASYNC001: blocking primitives reachable from ``async def``."""
+
+    code = "ASYNC001"
+    name = "async-blocking-call"
+    description = (
+        "no time.sleep/fcntl/subprocess/file-I/O/pool.map anywhere in "
+        "the call-graph closure of an async def in the mux scopes"
+    )
+
+    def check_project(
+        self, project: Project, config: LintConfig
+    ) -> List[Finding]:
+        graph = project_graph(project)
+        roots = [
+            info.key
+            for info in graph.functions.values()
+            if info.is_async
+            and config.in_scope(info.relpath, config.async_scopes)
+        ]
+        if not roots:
+            return []
+        chains = graph.reachable(roots)
+        findings: List[Finding] = []
+        seen: Set[str] = set()
+        alias_cache: Dict[str, Dict[str, str]] = {}
+        for key in sorted(chains):
+            info = graph.functions[key]
+            sf = project.get(info.relpath)
+            if sf is None:
+                continue
+            if info.relpath not in alias_cache:
+                alias_cache[info.relpath] = import_aliases(sf.tree)
+            aliases = alias_cache[info.relpath]
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                reason = _blocking_reason(node, aliases, config)
+                if not reason:
+                    continue
+                marker = f"{info.relpath}:{node.lineno}:{node.col_offset}"
+                if marker in seen:
+                    continue  # one finding per call site, not per root
+                seen.add(marker)
+                chain = graph.qualchain(chains[key])
+                root_info = graph.functions[chains[key][0]]
+                findings.append(
+                    self.finding(
+                        sf,
+                        node,
+                        f"{reason} reachable from async "
+                        f"{root_info.qualname}() "
+                        f"({' -> '.join(step.split(':')[-1] for step in chain)}); "
+                        "it stalls the shared event loop for every stream",
+                        chain=chain,
+                    )
+                )
+        return findings
+
+
+class AsyncDroppedAwaitableRule(Rule):
+    """ASYNC002: awaitable built then dropped without ``await``."""
+
+    code = "ASYNC002"
+    name = "async-dropped-awaitable"
+    description = (
+        "a coroutine created inside an async def must be awaited (or "
+        "scheduled); a bare call expression never runs"
+    )
+
+    def check_project(
+        self, project: Project, config: LintConfig
+    ) -> List[Finding]:
+        graph = project_graph(project)
+        findings: List[Finding] = []
+        for info in graph.functions.values():
+            if not info.is_async:
+                continue
+            if not config.in_scope(info.relpath, config.async_scopes):
+                continue
+            sf = project.get(info.relpath)
+            if sf is None:
+                continue
+            aliases = import_aliases(sf.tree)
+            types = graph.local_types(info)
+            for stmt in ast.walk(info.node):
+                if not isinstance(stmt, ast.Expr):
+                    continue
+                call = stmt.value
+                if not isinstance(call, ast.Call):
+                    continue
+                if self._is_awaitable_call(
+                    call, info, graph, aliases, types
+                ):
+                    findings.append(
+                        self.finding(
+                            sf,
+                            call,
+                            "awaitable dropped without await inside "
+                            f"async {info.qualname}(); the coroutine is "
+                            "created but never runs",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _is_awaitable_call(
+        call: ast.Call,
+        info: FunctionInfo,
+        graph: ProjectGraph,
+        aliases: Dict[str, str],
+        types: Dict[str, str],
+    ) -> bool:
+        resolved = resolved_call_name(call, aliases)
+        if resolved in _ASYNCIO_AWAITABLES:
+            return True
+        for callee in graph.resolve_call(info.relpath, call, info, types):
+            if graph.functions[callee].is_async:
+                return True
+        return False

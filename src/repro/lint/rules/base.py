@@ -43,6 +43,7 @@ class Rule:
         **meta,
     ) -> Finding:
         """Build a Finding from a SourceFile + AST node (or explicit line)."""
+        end_line = end_col = 0
         if isinstance(sf_or_path, SourceFile):
             path = sf_or_path.relpath
             if isinstance(node_or_line, int):
@@ -50,6 +51,8 @@ class Rule:
             else:
                 line = getattr(node_or_line, "lineno", 1)
                 column = getattr(node_or_line, "col_offset", 0)
+                end_line = getattr(node_or_line, "end_lineno", 0) or 0
+                end_col = getattr(node_or_line, "end_col_offset", 0) or 0
             text = sf_or_path.line_text(line)
         else:
             path = str(sf_or_path)
@@ -61,6 +64,8 @@ class Rule:
             col=column,
             message=message,
             line_text=text,
+            end_line=end_line,
+            end_col=end_col,
             meta=meta,
         )
 

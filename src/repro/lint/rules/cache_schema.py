@@ -26,35 +26,20 @@ from __future__ import annotations
 
 import ast
 import json
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..config import LintConfig
 from ..findings import Finding
+from ..graph import ProjectGraph, project_graph
 from ..project import Project
 from .base import Rule
 
 MANIFEST_SCHEMA = "repro-lint-chain-schema-v1"
 
-#: Parameter names that are plumbing, not physics inputs.
+#: Parameter names that are plumbing, not physics inputs (the live set
+#: comes from ``LintConfig.plumbing_params``; this mirrors the historic
+#: default for callers that used the module constant directly).
 _PLUMBING_PARAMS = {"self", "cache", "key", "on_hit", "compute"}
-
-
-def _function_defs(tree: ast.AST) -> Dict[str, ast.FunctionDef]:
-    return {
-        node.name: node
-        for node in ast.walk(tree)
-        if isinstance(node, ast.FunctionDef)
-    }
-
-
-def _param_names(fn: ast.FunctionDef) -> List[str]:
-    args = fn.args
-    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
-    if args.vararg:
-        names.append(args.vararg.arg)
-    if args.kwarg:
-        names.append(args.kwarg.arg)
-    return names
 
 
 def _names_in(node: ast.AST) -> Set[str]:
@@ -65,89 +50,6 @@ def _call_name(call: ast.Call) -> Optional[str]:
     if isinstance(call.func, ast.Name):
         return call.func.id
     return None
-
-
-def _map_call_args(
-    call: ast.Call, callee: ast.FunctionDef
-) -> List[Tuple[ast.AST, str]]:
-    """Pair each argument expression with the callee parameter it binds."""
-    pairs: List[Tuple[ast.AST, str]] = []
-    positional = callee.args.posonlyargs + callee.args.args
-    for index, arg in enumerate(call.args):
-        if index < len(positional):
-            pairs.append((arg, positional[index].arg))
-    valid = set(_param_names(callee))
-    for keyword in call.keywords:
-        if keyword.arg is not None and keyword.arg in valid:
-            pairs.append((keyword.value, keyword.arg))
-    return pairs
-
-
-def _fingerprint_reach(
-    functions: Dict[str, ast.FunctionDef],
-) -> Dict[str, Set[str]]:
-    """Per function: parameters that (transitively) reach fingerprint().
-
-    A parameter reaches directly when it appears inside an argument of a
-    ``fingerprint(...)`` call, and transitively when it is passed into a
-    local callee parameter that itself reaches.  Iterated to fixpoint.
-    """
-    reach: Dict[str, Set[str]] = {name: set() for name in functions}
-    for name, fn in functions.items():
-        params = set(_param_names(fn))
-        for node in ast.walk(fn):
-            if isinstance(node, ast.Call) and _call_name(node) == "fingerprint":
-                used: Set[str] = set()
-                for arg in node.args:
-                    used |= _names_in(arg)
-                for keyword in node.keywords:
-                    used |= _names_in(keyword.value)
-                reach[name] |= used & params
-    changed = True
-    while changed:
-        changed = False
-        for name, fn in functions.items():
-            params = set(_param_names(fn))
-            for node in ast.walk(fn):
-                if not isinstance(node, ast.Call):
-                    continue
-                callee_name = _call_name(node)
-                if callee_name is None or callee_name not in functions:
-                    continue
-                callee = functions[callee_name]
-                for arg_expr, callee_param in _map_call_args(node, callee):
-                    if callee_param not in reach[callee_name]:
-                        continue
-                    hits = _names_in(arg_expr) & params
-                    if hits - reach[name]:
-                        reach[name] |= hits
-                        changed = True
-    return reach
-
-
-def _stage_runners(functions: Dict[str, ast.FunctionDef]) -> Set[str]:
-    """Functions that (transitively, module-locally) execute a stage."""
-    runners: Set[str] = set()
-    for name, fn in functions.items():
-        for node in ast.walk(fn):
-            if isinstance(node, ast.Call) and _call_name(node) == "stage":
-                runners.add(name)
-                break
-    changed = True
-    while changed:
-        changed = False
-        for name, fn in functions.items():
-            if name in runners:
-                continue
-            for node in ast.walk(fn):
-                if (
-                    isinstance(node, ast.Call)
-                    and _call_name(node) in runners
-                ):
-                    runners.add(name)
-                    changed = True
-                    break
-    return runners
 
 
 def compute_schema_manifest(
@@ -185,52 +87,93 @@ class CacheSchemaRule(Rule):
         findings.extend(self._check_manifest(project, config))
         return findings
 
-    # -- contract 1: key coverage in the chain module ----------------------
+    # -- contract 1: key coverage across the chain scope -------------------
 
     def _check_key_coverage(
         self, project: Project, config: LintConfig
     ) -> List[Finding]:
-        sf = project.get(config.chain_module)
-        if sf is None:
-            return []
-        functions = _function_defs(sf.tree)
-        reach = _fingerprint_reach(functions)
-        runners = _stage_runners(functions)
+        graph = project_graph(project)
+        runners = graph.stage_runner_keys()
+        reach = graph.sink_reach(
+            "fingerprint", key_carrier_attrs=config.key_carrier_attrs
+        )
+        plumbing = set(config.plumbing_params) | _PLUMBING_PARAMS
         findings: List[Finding] = []
-        for name in sorted(runners):
-            if name.startswith("_"):
-                continue  # internal stages are covered by their callers
-            fn = functions[name]
-            for param in _param_names(fn):
-                if param in _PLUMBING_PARAMS or param.startswith("k_"):
+        for key in sorted(runners):
+            info = graph.functions[key]
+            if not config.in_scope(info.relpath, config.chain_scope):
+                continue
+            if "." in info.qualname or info.name.startswith("_"):
+                continue  # nested/private stages: covered by callers
+            sf = project.get(info.relpath)
+            if sf is None:
+                continue
+            chain = self._stage_chain(graph, key, runners)
+            for param in info.params:
+                if param in plumbing or param.startswith("k_"):
                     continue
-                if param in reach[name]:
+                if param in reach[key]:
                     continue
                 findings.append(
                     self.finding(
                         sf,
-                        fn,
+                        info.node,
                         f"parameter {param!r} of chain entry point "
-                        f"{name}() never reaches fingerprint(); stale "
-                        "cache entries would be served when it changes",
+                        f"{info.name}() never reaches fingerprint(); "
+                        "stale cache entries would be served when it "
+                        "changes",
+                        chain=chain,
                     )
                 )
-        for node in ast.walk(sf.tree):
-            if (
-                isinstance(node, ast.Call)
-                and _call_name(node) == "fingerprint"
-                and config.schema_const_name not in _names_in(node)
-            ):
-                findings.append(
-                    self.finding(
-                        sf,
-                        node,
-                        "chain-key fingerprint() call without "
-                        f"{config.schema_const_name}; stale disk caches "
-                        "from older chain semantics could be served",
+        for relpath in sorted(project.files):
+            if not config.in_scope(relpath, config.chain_scope):
+                continue
+            sf = project.files[relpath]
+            for node in ast.walk(sf.tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and _call_name(node) == "fingerprint"
+                    and config.schema_const_name not in _names_in(node)
+                ):
+                    findings.append(
+                        self.finding(
+                            sf,
+                            node,
+                            "chain-key fingerprint() call without "
+                            f"{config.schema_const_name}; stale disk "
+                            "caches from older chain semantics could be "
+                            "served",
+                        )
                     )
-                )
         return findings
+
+    @staticmethod
+    def _stage_chain(
+        graph: ProjectGraph, start: str, runners: Set[str]
+    ) -> List[str]:
+        """Call chain from a runner to the nearest direct stage() call."""
+
+        def has_direct_stage(key: str) -> bool:
+            for node in ast.walk(graph.functions[key].node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "stage"
+                ):
+                    return True
+            return False
+
+        chains = {start: [start]}
+        queue = [start]
+        while queue:
+            current = queue.pop(0)
+            if has_direct_stage(current):
+                return graph.qualchain(chains[current])
+            for site in graph.callees(current):
+                if site.callee in runners and site.callee not in chains:
+                    chains[site.callee] = chains[current] + [site.callee]
+                    queue.append(site.callee)
+        return graph.qualchain([start])
 
     # -- contract 2: manifest vs tree --------------------------------------
 

@@ -1,0 +1,438 @@
+"""RES001/RES002: pooled slab-buffer lifecycle in ``repro.mux``.
+
+The chunk pool hands out views into one preallocated slab; the runtime
+ledger (produced = delivered + shed + dropped + buffered) catches a
+leaked slab only after the fact, as a conservation failure at the end
+of a fleet run.  These rules prove the discipline statically:
+
+* **RES001** - every ownership acquire (an argless ``.pop()`` on a
+  queue/pool in the mux scopes) must reach a discharge on *all* CFG
+  paths, including the ``try``-body exception edges.  A discharge is a
+  ``release(var)`` call, a hand-off into the pool/queue implementation
+  (whose internal accounting is the audited ledger), a transfer into a
+  callee that discharges that parameter (ownership moves with the
+  call), or an escape (returned / yielded / stored - the new holder
+  owns it).
+
+* **RES002** - no read of a slab-view attribute (``chunk.samples``)
+  after the chunk was released on some path: the pool recycles slabs
+  immediately, so the view aliases another stream's data.  Plain
+  metadata (``size``, ``end_sample``) stays valid by design and is not
+  flagged.
+
+The pool implementation modules themselves are exempt from acquire
+tracking: their internal freelist ``.pop()`` is bookkeeping, not an
+ownership grant.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cfg import (
+    EXIT,
+    RAISE_EXIT,
+    build_cfg,
+    dataflow_paths_reach,
+    walk_own,
+)
+from ..config import LintConfig
+from ..findings import Finding
+from ..graph import (
+    FunctionInfo,
+    ProjectGraph,
+    map_call_args,
+    project_graph,
+)
+from ..project import Project
+from .base import Rule
+
+
+def _is_acquire(call: ast.Call) -> bool:
+    """An argless ``<expr>.pop()`` - the ownership-granting shape.
+
+    ``list.pop(0)`` and friends take an index; the pool/queue protocol
+    pop is argless, which is what discriminates the two statically.
+    """
+    return (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == "pop"
+        and not call.args
+        and not call.keywords
+    )
+
+
+def _arg_names(call: ast.Call) -> Set[str]:
+    names: Set[str] = set()
+    for arg in call.args:
+        if isinstance(arg, ast.Name):
+            names.add(arg.id)
+    for kw in call.keywords:
+        if isinstance(kw.value, ast.Name):
+            names.add(kw.value.id)
+    return names
+
+
+class _Analysis:
+    """Shared per-run state for both RES rules."""
+
+    def __init__(
+        self, project: Project, graph: ProjectGraph, config: LintConfig
+    ):
+        self.project = project
+        self.graph = graph
+        self.config = config
+        self._types: Dict[str, Dict[str, str]] = {}
+        self._discharge: Dict[str, Set[str]] = self._discharging_params()
+
+    def types_of(self, info: FunctionInfo) -> Dict[str, str]:
+        if info.key not in self._types:
+            self._types[info.key] = self.graph.local_types(info)
+        return self._types[info.key]
+
+    def _impl_class_keys(self) -> Set[str]:
+        return {
+            key
+            for key, cinfo in self.graph.classes.items()
+            if self.config.in_scope(
+                cinfo.relpath, self.config.res_impl_modules
+            )
+            or cinfo.relpath in self.config.res_impl_modules
+        }
+
+    def _discharging_params(self) -> Dict[str, Set[str]]:
+        """Per function: parameters it discharges on *some* path.
+
+        Passing a chunk to such a parameter moves ownership: the callee
+        is responsible for (conditionally) releasing it, which is
+        exactly the ``_dispatch(state, chunk, pooled=True)`` pattern.
+        """
+        impl_classes = self._impl_class_keys()
+        graph, config = self.graph, self.config
+        discharge: Dict[str, Set[str]] = {
+            key: set() for key in graph.functions
+        }
+
+        def direct(info: FunctionInfo) -> Set[str]:
+            params = set(info.params)
+            out: Set[str] = set()
+            for node in ast.walk(info.node):
+                if isinstance(node, (ast.Return, ast.Yield)):
+                    value = node.value
+                    if value is not None:
+                        out |= {
+                            n.id
+                            for n in ast.walk(value)
+                            if isinstance(n, ast.Name)
+                        } & params
+                elif isinstance(node, ast.Call):
+                    if (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr in config.res_release_methods
+                    ):
+                        out |= _arg_names(node) & params
+                elif isinstance(node, ast.Assign):
+                    stored = any(
+                        not isinstance(t, ast.Name) for t in node.targets
+                    )
+                    if stored and isinstance(node.value, ast.Name):
+                        out |= {node.value.id} & params
+            return out
+
+        for key, info in graph.functions.items():
+            if not config.in_scope(info.relpath, config.res_scopes):
+                continue
+            discharge[key] = direct(info)
+        # Hand-off into the pool/queue implementation discharges too.
+        for key, info in graph.functions.items():
+            if not config.in_scope(info.relpath, config.res_scopes):
+                continue
+            params = set(info.params)
+            for site in graph.callees(key):
+                callee = graph.functions[site.callee]
+                if callee.class_key in impl_classes:
+                    for expr, _param in map_call_args(site.call, callee):
+                        if isinstance(expr, ast.Name):
+                            discharge[key] |= {expr.id} & params
+        changed = True
+        while changed:
+            changed = False
+            for key, info in graph.functions.items():
+                if not config.in_scope(info.relpath, config.res_scopes):
+                    continue
+                params = set(info.params)
+                for site in graph.callees(key):
+                    callee_discharge = discharge.get(site.callee, set())
+                    if not callee_discharge:
+                        continue
+                    callee = graph.functions[site.callee]
+                    for expr, param in map_call_args(site.call, callee):
+                        if param in callee_discharge and isinstance(
+                            expr, ast.Name
+                        ):
+                            hits = {expr.id} & params
+                            if hits - discharge[key]:
+                                discharge[key] |= hits
+                                changed = True
+        return discharge
+
+    # -- per-statement classification --------------------------------------
+
+    def acquire_vars(
+        self, stmt: ast.stmt
+    ) -> Tuple[Set[str], Optional[ast.Call]]:
+        """Variables bound by an acquire in this statement's own nodes."""
+        out: Set[str] = set()
+        dropped: Optional[ast.Call] = None
+        for node in walk_own(stmt):
+            if isinstance(node, ast.Call) and _is_acquire(node):
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and stmt.value is node
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                ):
+                    out.add(stmt.targets[0].id)
+                elif isinstance(stmt, ast.Expr) and stmt.value is node:
+                    dropped = node
+        return out, dropped
+
+    def discharge_vars(self, stmt: ast.stmt, info: FunctionInfo) -> Set[str]:
+        """Variables whose obligation this statement discharges."""
+        out: Set[str] = set()
+        impl_classes = self._impl_class_keys()
+        types = self.types_of(info)
+        for node in walk_own(stmt):
+            if isinstance(node, (ast.Return, ast.Yield)):
+                if node.value is not None:
+                    out |= {
+                        n.id
+                        for n in ast.walk(node.value)
+                        if isinstance(n, ast.Name)
+                    }
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self.config.res_release_methods
+                ):
+                    out |= _arg_names(node)
+                    continue
+                for callee_key in self.graph.resolve_call(
+                    info.relpath, node, info, types
+                ):
+                    callee = self.graph.functions[callee_key]
+                    callee_discharge = self._discharge.get(
+                        callee_key, set()
+                    )
+                    impl = callee.class_key in impl_classes
+                    for expr, param in map_call_args(node, callee):
+                        if isinstance(expr, ast.Name) and (
+                            impl or param in callee_discharge
+                        ):
+                            out.add(expr.id)
+        # Escapes: stored into an attribute/subscript/container.
+        if isinstance(stmt, ast.Assign):
+            if any(not isinstance(t, ast.Name) for t in stmt.targets):
+                if isinstance(stmt.value, ast.Name):
+                    out.add(stmt.value.id)
+        return out
+
+    def release_vars(self, stmt: ast.stmt, info: FunctionInfo) -> Set[str]:
+        """Variables released/handed off here (for use-after-release).
+
+        Unlike :meth:`discharge_vars` this excludes returns/stores -
+        after those the local name is still a valid view.
+        """
+        out: Set[str] = set()
+        impl_classes = self._impl_class_keys()
+        types = self.types_of(info)
+        for node in walk_own(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.config.res_release_methods
+            ):
+                out |= _arg_names(node)
+                continue
+            for callee_key in self.graph.resolve_call(
+                info.relpath, node, info, types
+            ):
+                callee = self.graph.functions[callee_key]
+                callee_discharge = self._discharge.get(callee_key, set())
+                impl = callee.class_key in impl_classes
+                for expr, param in map_call_args(node, callee):
+                    if isinstance(expr, ast.Name) and (
+                        impl or param in callee_discharge
+                    ):
+                        out.add(expr.id)
+        return out
+
+
+class ResourceLeakRule(Rule):
+    """RES001: every pool acquire discharges on all CFG paths."""
+
+    code = "RES001"
+    name = "pooled-chunk-leak"
+    description = (
+        "an acquired pool chunk must be released, handed off, or "
+        "escape on every path (exception edges included)"
+    )
+
+    def check_project(
+        self, project: Project, config: LintConfig
+    ) -> List[Finding]:
+        graph = project_graph(project)
+        analysis = _Analysis(project, graph, config)
+        findings: List[Finding] = []
+        for key in sorted(graph.functions):
+            info = graph.functions[key]
+            if not config.in_scope(info.relpath, config.res_scopes):
+                continue
+            if config.in_scope(info.relpath, config.res_impl_modules):
+                continue
+            findings.extend(self._check_function(project, analysis, info))
+        return findings
+
+    def _check_function(
+        self, project: Project, analysis: _Analysis, info: FunctionInfo
+    ) -> List[Finding]:
+        sf = project.get(info.relpath)
+        if sf is None:
+            return []
+        cfg = build_cfg(info.node)
+        gen: Dict[int, Set[str]] = {}
+        kill: Dict[int, Set[str]] = {}
+        acquire_sites: Dict[str, ast.stmt] = {}
+        findings: List[Finding] = []
+        nested = {
+            sub
+            for node in ast.walk(info.node)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node is not info.node
+            for sub in ast.walk(node)
+        }
+        for node_id, stmt in cfg.stmts.items():
+            if stmt is None or stmt in nested:
+                continue
+            acquired, dropped = analysis.acquire_vars(stmt)
+            if dropped is not None:
+                findings.append(
+                    self.finding(
+                        sf,
+                        dropped,
+                        "acquired chunk discarded immediately; the slab "
+                        "leaks the moment this statement completes",
+                    )
+                )
+            if acquired:
+                gen[node_id] = acquired
+                for var in acquired:
+                    acquire_sites.setdefault(var, stmt)
+            discharged = analysis.discharge_vars(stmt, info)
+            if discharged:
+                kill[node_id] = discharged
+            # Rebinding a tracked name ends the old obligation window
+            # only via a fresh acquire (handled by gen); a plain rebind
+            # of the same name keeps the obligation - the old chunk is
+            # simply lost, which the exit-liveness check reports.
+        if not gen:
+            return findings
+        live = dataflow_paths_reach(cfg, gen, kill)
+        leaked = live[EXIT] | live[RAISE_EXIT]
+        for var in sorted(leaked):
+            stmt = acquire_sites.get(var)
+            if stmt is None:
+                continue
+            where = (
+                "an exception path"
+                if var in live[RAISE_EXIT] and var not in live[EXIT]
+                else "some path"
+            )
+            findings.append(
+                self.finding(
+                    sf,
+                    stmt,
+                    f"chunk {var!r} acquired in {info.qualname}() is "
+                    f"never released on {where}; the ledger would only "
+                    "catch this as a conservation failure at run time",
+                )
+            )
+        return findings
+
+
+class UseAfterReleaseRule(Rule):
+    """RES002: no slab-view reads after the chunk was released."""
+
+    code = "RES002"
+    name = "use-after-release"
+    description = (
+        "chunk.samples aliases pooled slab memory; reading it after "
+        "release observes another stream's data"
+    )
+
+    def check_project(
+        self, project: Project, config: LintConfig
+    ) -> List[Finding]:
+        graph = project_graph(project)
+        analysis = _Analysis(project, graph, config)
+        findings: List[Finding] = []
+        for key in sorted(graph.functions):
+            info = graph.functions[key]
+            if not config.in_scope(info.relpath, config.res_scopes):
+                continue
+            if config.in_scope(info.relpath, config.res_impl_modules):
+                continue
+            findings.extend(self._check_function(project, analysis, info))
+        return findings
+
+    def _check_function(
+        self, project: Project, analysis: _Analysis, info: FunctionInfo
+    ) -> List[Finding]:
+        sf = project.get(info.relpath)
+        if sf is None:
+            return []
+        cfg = build_cfg(info.node)
+        gen: Dict[int, Set[str]] = {}
+        kill: Dict[int, Set[str]] = {}
+        for node_id, stmt in cfg.stmts.items():
+            if stmt is None:
+                continue
+            released = analysis.release_vars(stmt, info)
+            if released:
+                gen[node_id] = released
+            acquired, _ = analysis.acquire_vars(stmt)
+            rebound: Set[str] = set(acquired)
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        rebound.add(target.id)
+            if rebound:
+                kill[node_id] = rebound
+        if not gen:
+            return []
+        live = dataflow_paths_reach(cfg, gen, kill)
+        findings: List[Finding] = []
+        view_attrs = set(analysis.config.res_view_attrs)
+        for node_id, stmt in cfg.stmts.items():
+            if stmt is None or not live.get(node_id):
+                continue
+            for node in walk_own(stmt):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and node.attr in view_attrs
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in live[node_id]
+                ):
+                    findings.append(
+                        self.finding(
+                            sf,
+                            node,
+                            f"read of {node.value.id}.{node.attr} after "
+                            f"{node.value.id} was released on some path; "
+                            "the slab may already be recycled into "
+                            "another stream's chunk",
+                        )
+                    )
+        return findings

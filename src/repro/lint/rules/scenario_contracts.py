@@ -1,0 +1,361 @@
+"""SCEN001/SCEN002: scenario component contracts, statically.
+
+The scenario runtime enforces the write-once resource DAG and the
+per-component RNG streams at run time (``ScenarioContext.publish``
+raises on undeclared names; ``ctx.rng(self)`` derives a SHA-named
+stream).  These rules mirror the same contracts over the AST so a
+plugin that would fail at ``repro scenario`` time fails at lint time:
+
+* **SCEN001** - a component publishing a resource name missing from
+  its ``provides`` declaration, reading a name missing from its
+  ``requires``/``provides``, or reading a name no registered component
+  in the tree provides (an unsatisfiable dependency: the resolver can
+  never schedule it).
+
+* **SCEN002** - randomness outside the component's own derived stream:
+  module-level ``np.random`` draws, argless ``default_rng()``, stdlib
+  ``random`` draws, or ``ctx.rng(other)`` - drawing from *another*
+  component's stream couples their sequences and breaks the
+  order-invariance the conformance suite pins.
+
+Only literal resource names are checked; computed names are skipped
+(the runtime still guards them).  Seeded generators
+(``default_rng(seed_expr)``) are the blessed pattern for sub-harness
+hand-off and pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..config import LintConfig
+from ..findings import Finding
+from ..graph import ClassInfo, ProjectGraph, project_graph
+from ..project import Project
+from .base import Rule, import_aliases, resolved_call_name
+
+#: numpy.random callables that are seeded-stream plumbing, not draws.
+_RNG_FACTORIES = {"default_rng", "Generator", "SeedSequence", "PCG64"}
+
+
+def _component_classes(
+    graph: ProjectGraph, config: LintConfig
+) -> List[ClassInfo]:
+    base_module, base_name = config.scenario_component_base
+    out: List[ClassInfo] = []
+
+    def derives(cinfo: ClassInfo, seen: Set[str]) -> bool:
+        if cinfo.key in seen:
+            return False
+        seen.add(cinfo.key)
+        for name in cinfo.base_names:
+            tail = name.rsplit(".", 1)[-1]
+            resolved = graph.resolve_class(cinfo.relpath, tail)
+            if resolved is None:
+                continue
+            if (
+                resolved.relpath == base_module
+                and resolved.name == base_name
+            ):
+                return True
+            if derives(resolved, seen):
+                return True
+        return False
+
+    for cinfo in graph.classes.values():
+        if derives(cinfo, set()):
+            out.append(cinfo)
+    return out
+
+
+def _declared_tuple(
+    graph: ProjectGraph, cinfo: ClassInfo, attr: str
+) -> Optional[Tuple[str, ...]]:
+    """Statically evaluated ``provides``/``requires`` declaration.
+
+    Looks at the class body first, then ``self.<attr> = (...)`` in
+    ``__init__``, then the base chain.  Returns None when the value is
+    computed (the rule then skips that side of the check - the runtime
+    guard still applies).
+    """
+
+    def from_body(node: ast.ClassDef) -> Optional[Tuple[str, ...]]:
+        for stmt in node.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == attr:
+                    try:
+                        evaluated = ast.literal_eval(value)
+                    except (ValueError, TypeError):
+                        return None
+                    if isinstance(evaluated, (tuple, list)):
+                        return tuple(str(item) for item in evaluated)
+                    return None
+        return None
+
+    def from_init(cinfo: ClassInfo) -> Optional[Tuple[str, ...]]:
+        init_key = cinfo.methods.get("__init__")
+        if init_key is None:
+            return None
+        for node in ast.walk(graph.functions[init_key].node):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr == attr
+                ):
+                    try:
+                        evaluated = ast.literal_eval(node.value)
+                    except (ValueError, TypeError):
+                        return None
+                    if isinstance(evaluated, (tuple, list)):
+                        return tuple(str(item) for item in evaluated)
+                    return None
+        return None
+
+    found = from_body(cinfo.node)
+    if found is not None:
+        return found
+    found = from_init(cinfo)
+    if found is not None:
+        return found
+    for base_name in cinfo.base_names:
+        tail = base_name.rsplit(".", 1)[-1]
+        base = graph.resolve_class(cinfo.relpath, tail)
+        if base is not None:
+            inherited = _declared_tuple(graph, base, attr)
+            if inherited is not None:
+                return inherited
+    return None
+
+
+def _ctx_params(fn_node: ast.AST, config: LintConfig) -> Set[str]:
+    """Parameter names that carry the scenario context handle."""
+    names: Set[str] = set()
+    args = fn_node.args
+    for a in args.posonlyargs + args.args + args.kwonlyargs:
+        if a.arg in config.scenario_context_params:
+            names.add(a.arg)
+            continue
+        annotation = a.annotation
+        if annotation is not None:
+            text = ast.dump(annotation)
+            if "ScenarioContext" in text:
+                names.add(a.arg)
+    return names
+
+
+def _literal_resource(call: ast.Call, method: str) -> Optional[ast.Constant]:
+    """The literal resource-name argument of a publish/get call."""
+    index = 1 if method == "publish" else 0
+    if len(call.args) > index:
+        node = call.args[index]
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node
+        return None
+    for kw in call.keywords:
+        if kw.arg == "name" and isinstance(kw.value, ast.Constant):
+            if isinstance(kw.value.value, str):
+                return kw.value
+    return None
+
+
+class ScenarioResourceRule(Rule):
+    """SCEN001: the resource DAG mirrored statically."""
+
+    code = "SCEN001"
+    name = "scenario-resource-contract"
+    description = (
+        "components publish only declared provides, read only declared "
+        "requires, and every read is satisfiable by some component"
+    )
+
+    def check_project(
+        self, project: Project, config: LintConfig
+    ) -> List[Finding]:
+        graph = project_graph(project)
+        components = _component_classes(graph, config)
+        if not components:
+            return []
+        all_provided: Set[str] = set()
+        declared: Dict[str, Tuple[Optional[Tuple[str, ...]], ...]] = {}
+        for cinfo in components:
+            provides = _declared_tuple(graph, cinfo, "provides")
+            requires = _declared_tuple(graph, cinfo, "requires")
+            declared[cinfo.key] = (provides, requires)
+            if provides:
+                all_provided |= set(provides)
+        findings: List[Finding] = []
+        for cinfo in components:
+            provides, requires = declared[cinfo.key]
+            sf = project.get(cinfo.relpath)
+            if sf is None:
+                continue
+            for method_key in sorted(cinfo.methods.values()):
+                info = graph.functions[method_key]
+                ctx_names = _ctx_params(info.node, config)
+                if not ctx_names:
+                    continue
+                for node in ast.walk(info.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    func = node.func
+                    if not (
+                        isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id in ctx_names
+                    ):
+                        continue
+                    if func.attr == "publish":
+                        literal = _literal_resource(node, "publish")
+                        if literal is None or provides is None:
+                            continue
+                        if literal.value not in provides:
+                            findings.append(
+                                self.finding(
+                                    sf,
+                                    literal,
+                                    f"component {cinfo.name} publishes "
+                                    f"{literal.value!r} but declares "
+                                    f"provides={tuple(provides)!r}; the "
+                                    "resolver schedules from the "
+                                    "declaration, so this publish would "
+                                    "raise at run time",
+                                )
+                            )
+                    elif func.attr == "get":
+                        # `ctx.has()` probes optional resources and is
+                        # deliberately exempt.
+                        literal = _literal_resource(node, "get")
+                        if literal is None:
+                            continue
+                        name = literal.value
+                        own = set(provides or ()) | set(requires or ())
+                        if requires is not None and name not in own:
+                            findings.append(
+                                self.finding(
+                                    sf,
+                                    literal,
+                                    f"component {cinfo.name} reads "
+                                    f"{name!r} without declaring it in "
+                                    "requires; the resolver cannot "
+                                    "order this dependency",
+                                )
+                            )
+                        elif name not in all_provided:
+                            findings.append(
+                                self.finding(
+                                    sf,
+                                    literal,
+                                    f"no registered component provides "
+                                    f"{name!r}; this read can never be "
+                                    "satisfied in any scenario wiring",
+                                )
+                            )
+        return findings
+
+
+class ScenarioRandomnessRule(Rule):
+    """SCEN002: components draw only from their own derived stream."""
+
+    code = "SCEN002"
+    name = "scenario-rng-stream"
+    description = (
+        "inside a component, randomness comes from ctx.rng(self) or a "
+        "seeded generator - never np.random, stdlib random, or another "
+        "component's stream"
+    )
+
+    def check_project(
+        self, project: Project, config: LintConfig
+    ) -> List[Finding]:
+        graph = project_graph(project)
+        components = _component_classes(graph, config)
+        findings: List[Finding] = []
+        for cinfo in components:
+            sf = project.get(cinfo.relpath)
+            if sf is None:
+                continue
+            aliases = import_aliases(sf.tree)
+            for method_key in sorted(cinfo.methods.values()):
+                info = graph.functions[method_key]
+                ctx_names = _ctx_params(info.node, config)
+                for node in ast.walk(info.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    finding = self._check_call(
+                        sf, cinfo, node, aliases, ctx_names
+                    )
+                    if finding is not None:
+                        findings.append(finding)
+        return findings
+
+    def _check_call(
+        self,
+        sf,
+        cinfo: ClassInfo,
+        node: ast.Call,
+        aliases: Dict[str, str],
+        ctx_names: Set[str],
+    ) -> Optional[Finding]:
+        func = node.func
+        # ctx.rng(X) with X other than self: foreign stream.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "rng"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ctx_names
+        ):
+            arg = node.args[0] if node.args else None
+            if not (isinstance(arg, ast.Name) and arg.id == "self"):
+                return self.finding(
+                    sf,
+                    node,
+                    f"component {cinfo.name} draws from a stream it "
+                    "does not own (ctx.rng(self) is the component's "
+                    "stream); foreign draws couple the two components' "
+                    "sequences",
+                )
+            return None
+        resolved = resolved_call_name(node, aliases)
+        if resolved is None:
+            return None
+        if resolved.startswith("np.random."):
+            # The conventional alias, even when numpy is not imported
+            # in this module (fixtures, TYPE_CHECKING-gated imports).
+            resolved = "numpy" + resolved[len("np") :]
+        if resolved.startswith("numpy.random."):
+            tail = resolved.rsplit(".", 1)[-1]
+            if tail == "default_rng" and not (node.args or node.keywords):
+                return self.finding(
+                    sf,
+                    node,
+                    f"component {cinfo.name} creates an unseeded "
+                    "default_rng(); derive one from "
+                    "ctx.rng(self)/ctx.derive_seed() instead",
+                )
+            if tail not in _RNG_FACTORIES:
+                return self.finding(
+                    sf,
+                    node,
+                    f"component {cinfo.name} draws from the global "
+                    f"numpy.random.{tail}; use its own ctx.rng(self) "
+                    "stream so no component can perturb another",
+                )
+        elif resolved.startswith("random."):
+            return self.finding(
+                sf,
+                node,
+                f"component {cinfo.name} draws from stdlib "
+                f"{resolved}; use its own ctx.rng(self) stream",
+            )
+        return None

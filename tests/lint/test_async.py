@@ -1,0 +1,167 @@
+"""ASYNC001/ASYNC002: event-loop safety over the project call graph."""
+
+from __future__ import annotations
+
+from .conftest import codes
+
+#: A Component-free mux-scoped tree where the async path is clean: the
+#: scheduler awaits, yields, and calls helpers that do pure compute.
+CLEAN = {
+    "repro/mux/scheduler.py": """
+    import asyncio
+
+    from .helpers import shape
+
+    async def run_async(ticks):
+        total = 0
+        for _ in range(ticks):
+            total += shape(total)
+            await asyncio.sleep(0)
+        return total
+    """,
+    "repro/mux/helpers.py": """
+    def shape(x):
+        return x * 2 + 1
+    """,
+}
+
+#: The blocking call hides two modules away from the async def.
+CROSS_MODULE_BLOCKING = {
+    "repro/mux/scheduler.py": """
+    from .middle import settle
+
+    async def run_async(ticks):
+        for _ in range(ticks):
+            settle()
+    """,
+    "repro/mux/middle.py": """
+    from .deep import backoff
+
+    def settle():
+        backoff()
+    """,
+    "repro/mux/deep.py": """
+    import time
+
+    def backoff():
+        time.sleep(0.1)
+    """,
+}
+
+#: Same sleep, but nothing async reaches it: not a finding.
+UNREACHABLE_BLOCKING = {
+    "repro/mux/scheduler.py": """
+    async def run_async(ticks):
+        return ticks
+    """,
+    "repro/mux/deep.py": """
+    import time
+
+    def backoff():
+        time.sleep(0.1)
+    """,
+}
+
+#: Blocking call in an async def *outside* the configured scopes.
+OUT_OF_SCOPE = {
+    "repro/tools/sync.py": """
+    import time
+
+    async def run_async(ticks):
+        time.sleep(0.1)
+    """,
+}
+
+DROPPED_AWAITABLE = {
+    "repro/mux/scheduler.py": """
+    import asyncio
+
+    async def _drain(n):
+        return n
+
+    async def run_async(ticks):
+        asyncio.sleep(0)
+        _drain(ticks)
+        await _drain(ticks)
+    """,
+}
+
+
+def test_clean_async_tree(make_tree):
+    _, lint = make_tree(CLEAN)
+    report = lint(select=["ASYNC001", "ASYNC002"])
+    assert report.ok, report.render_text()
+
+
+def test_cross_module_blocking_found_with_chain(make_tree):
+    _, lint = make_tree(CROSS_MODULE_BLOCKING)
+    report = lint(select=["ASYNC001"])
+    assert codes(report) == ["ASYNC001"]
+    finding = report.active[0]
+    assert finding.path == "repro/mux/deep.py"
+    assert "time.sleep" in finding.message
+    # The resolved chain rides along: root -> ... -> offending function.
+    chain = finding.meta["chain"]
+    assert chain[0].endswith("run_async")
+    assert chain[-1].endswith("backoff")
+    assert "run_async" in finding.message and "backoff" in finding.message
+
+
+def test_unreachable_blocking_is_not_flagged(make_tree):
+    _, lint = make_tree(UNREACHABLE_BLOCKING)
+    report = lint(select=["ASYNC001"])
+    assert report.ok, report.render_text()
+
+
+def test_out_of_scope_async_is_not_flagged(make_tree):
+    _, lint = make_tree(OUT_OF_SCOPE)
+    report = lint(select=["ASYNC001"])
+    assert report.ok, report.render_text()
+
+
+def test_blocking_io_and_pool_fanout_variants(make_tree):
+    _, lint = make_tree(
+        {
+            "repro/mux/scheduler.py": """
+            async def run_async(pool, path, items):
+                path.write_text("state")
+                pool.map(len, items)
+            """
+        }
+    )
+    report = lint(select=["ASYNC001"])
+    assert codes(report) == ["ASYNC001", "ASYNC001"]
+    messages = " | ".join(f.message for f in report.active)
+    assert "write_text" in messages and "pool.map" in messages
+
+
+def test_dropped_awaitables_found(make_tree):
+    _, lint = make_tree(DROPPED_AWAITABLE)
+    report = lint(select=["ASYNC002"])
+    # Both the asyncio.sleep(0) and the bare _drain(ticks) are dropped;
+    # the awaited call is not flagged.
+    assert codes(report) == ["ASYNC002", "ASYNC002"]
+    assert {f.line for f in report.active} == {8, 9}
+
+
+def test_one_finding_per_call_site_with_many_roots(make_tree):
+    files = {
+        "repro/mux/scheduler.py": """
+        from .deep import backoff
+
+        async def run_a():
+            backoff()
+
+        async def run_b():
+            backoff()
+        """,
+        "repro/mux/deep.py": """
+        import time
+
+        def backoff():
+            time.sleep(0.1)
+        """,
+    }
+    _, lint = make_tree(files)
+    report = lint(select=["ASYNC001"])
+    assert codes(report) == ["ASYNC001"]

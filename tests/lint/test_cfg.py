@@ -1,0 +1,213 @@
+"""Unit tests for the per-function CFG (repro.lint.cfg)."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.cfg import (
+    EXIT,
+    RAISE_EXIT,
+    build_cfg,
+    dataflow_paths_reach,
+    own_nodes,
+    statements_of,
+    walk_own,
+)
+
+
+def cfg_of(src: str):
+    fn = ast.parse(src).body[0]
+    return build_cfg(fn)
+
+
+def acquire_release_live(cfg, acquire_name="acquire", release_name="release"):
+    """Run the may-analysis with gen=calls to acquire, kill=release."""
+
+    def call_names(stmt):
+        return {
+            n.func.id
+            for n in walk_own(stmt)
+            if isinstance(n, ast.Call) and isinstance(n.func, ast.Name)
+        }
+
+    gen = {}
+    kill = {}
+    for node_id, stmt in statements_of(cfg).items():
+        names = call_names(stmt)
+        if acquire_name in names:
+            gen[node_id] = {"r"}
+        if release_name in names:
+            kill[node_id] = {"r"}
+    return dataflow_paths_reach(cfg, gen, kill)
+
+
+def test_straight_line_reaches_exit():
+    cfg = cfg_of(
+        """
+def f():
+    acquire()
+    work()
+"""
+    )
+    live = acquire_release_live(cfg)
+    assert "r" in live[EXIT]
+
+
+def test_release_on_all_paths_is_dead_at_exit():
+    cfg = cfg_of(
+        """
+def f(flag):
+    acquire()
+    if flag:
+        release()
+    else:
+        release()
+"""
+    )
+    live = acquire_release_live(cfg)
+    assert "r" not in live[EXIT]
+
+
+def test_release_on_one_branch_leaks():
+    cfg = cfg_of(
+        """
+def f(flag):
+    acquire()
+    if flag:
+        release()
+"""
+    )
+    live = acquire_release_live(cfg)
+    assert "r" in live[EXIT]
+
+
+def test_finally_covers_exception_edges():
+    cfg = cfg_of(
+        """
+def f():
+    acquire()
+    try:
+        work()
+    finally:
+        release()
+"""
+    )
+    live = acquire_release_live(cfg)
+    assert "r" not in live[EXIT]
+    assert "r" not in live[RAISE_EXIT]
+
+
+def test_exception_edge_escapes_late_release():
+    # work() can raise before release(): the obligation is live on the
+    # RAISE_EXIT path even though the normal path discharges it.
+    cfg = cfg_of(
+        """
+def f():
+    acquire()
+    try:
+        work()
+        release()
+    except ValueError:
+        raise
+"""
+    )
+    live = acquire_release_live(cfg)
+    assert "r" not in live[EXIT]
+    assert "r" in live[RAISE_EXIT]
+
+
+def test_exception_edges_use_pre_state():
+    # The acquire is *inside* the try: on the exception edge out of the
+    # acquiring statement itself the obligation has not happened yet,
+    # but any later statement in the try body carries it.
+    cfg = cfg_of(
+        """
+def f():
+    try:
+        acquire()
+        work()
+    except ValueError:
+        pass
+"""
+    )
+    live = acquire_release_live(cfg)
+    # The handler swallows: the normal exit after the handler still
+    # carries the obligation picked up after acquire().
+    assert "r" in live[EXIT]
+
+
+def test_loop_back_edge_propagates():
+    cfg = cfg_of(
+        """
+def f(items):
+    for item in items:
+        acquire()
+    release()
+"""
+    )
+    live = acquire_release_live(cfg)
+    assert "r" not in live[EXIT]
+
+
+def test_while_loop_zero_iterations_path():
+    cfg = cfg_of(
+        """
+def f(flag):
+    while flag:
+        acquire()
+"""
+    )
+    live = acquire_release_live(cfg)
+    assert "r" in live[EXIT]
+
+
+def test_return_routes_through_finally():
+    cfg = cfg_of(
+        """
+def f():
+    acquire()
+    try:
+        return 1
+    finally:
+        release()
+"""
+    )
+    live = acquire_release_live(cfg)
+    assert "r" not in live[EXIT]
+
+
+def test_own_nodes_excludes_nested_body():
+    stmt = ast.parse(
+        """
+if flag:
+    release()
+"""
+    ).body[0]
+    names = {
+        n.func.id
+        for n in walk_own(stmt)
+        if isinstance(n, ast.Call) and isinstance(n.func, ast.Name)
+    }
+    assert "release" not in names  # body call belongs to its own node
+    assert any(isinstance(n, ast.Name) for n in walk_own(stmt))  # the test expr
+
+
+def test_statements_of_covers_every_real_statement():
+    cfg = cfg_of(
+        """
+def f(flag):
+    a = 1
+    if flag:
+        b = 2
+    return a
+"""
+    )
+    kinds = {type(stmt).__name__ for stmt in statements_of(cfg).values()}
+    assert {"Assign", "If", "Return"} <= kinds
+
+
+def test_own_nodes_of_plain_statement_is_whole_subtree():
+    stmt = ast.parse("x = f(g(1))").body[0]
+    calls = [n for n in walk_own(stmt) if isinstance(n, ast.Call)]
+    assert len(calls) == 2
+    assert own_nodes(stmt) == [stmt]

@@ -25,6 +25,12 @@ ALL_CODES = [
     "CONC001",
     "TRACE001",
     "FLOAT001",
+    "ASYNC001",
+    "ASYNC002",
+    "RES001",
+    "RES002",
+    "SCEN001",
+    "SCEN002",
 ]
 
 

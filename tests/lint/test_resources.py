@@ -1,0 +1,201 @@
+"""RES001/RES002: pooled-buffer lifecycle over the per-function CFG."""
+
+from __future__ import annotations
+
+from .conftest import codes
+
+#: Minimal pool implementation module - its own freelist .pop() calls
+#: are bookkeeping, not ownership acquisition (res_impl_modules).
+POOL = {
+    "repro/mux/pool.py": """
+    class ChunkPool:
+        def __init__(self):
+            self._free = []
+
+        def pop(self):
+            if self._free:
+                return self._free.pop()
+            return None
+
+        def release(self, chunk):
+            self._free.append(chunk)
+    """
+}
+
+
+def tree(body: str):
+    files = dict(POOL)
+    files["repro/mux/scheduler.py"] = body
+    return files
+
+
+def test_impl_module_freelist_is_exempt(make_tree):
+    _, lint = make_tree(POOL)
+    report = lint(select=["RES001", "RES002"])
+    assert report.ok, report.render_text()
+
+
+def test_release_in_finally_is_clean(make_tree):
+    _, lint = make_tree(
+        tree(
+            """
+            def drain(pool, work):
+                chunk = pool.pop()
+                try:
+                    work(chunk)
+                finally:
+                    pool.release(chunk)
+            """
+        )
+    )
+    report = lint(select=["RES001"])
+    assert report.ok, report.render_text()
+
+
+def test_branch_missing_release_leaks_some_path(make_tree):
+    _, lint = make_tree(
+        tree(
+            """
+            def drain(pool, work, keep):
+                chunk = pool.pop()
+                if keep:
+                    work(chunk)
+                else:
+                    pool.release(chunk)
+            """
+        )
+    )
+    report = lint(select=["RES001"])
+    assert codes(report) == ["RES001"]
+    assert "some path" in report.active[0].message
+
+
+def test_exception_path_leak_is_reported_as_such(make_tree):
+    _, lint = make_tree(
+        tree(
+            """
+            def drain(pool, work):
+                chunk = pool.pop()
+                try:
+                    work(chunk)
+                except ValueError:
+                    raise
+                pool.release(chunk)
+            """
+        )
+    )
+    report = lint(select=["RES001"])
+    assert codes(report) == ["RES001"]
+    assert "exception path" in report.active[0].message
+
+
+def test_handoff_to_discharging_callee_is_clean(make_tree):
+    _, lint = make_tree(
+        tree(
+            """
+            def _dispatch(pool, chunk, ready):
+                if ready:
+                    pool.release(chunk)
+                else:
+                    pool.release(chunk)
+
+            def drain(pool, ready):
+                chunk = pool.pop()
+                _dispatch(pool, chunk, ready)
+            """
+        )
+    )
+    report = lint(select=["RES001"])
+    assert report.ok, report.render_text()
+
+
+def test_dropped_acquire_is_immediate_finding(make_tree):
+    _, lint = make_tree(
+        tree(
+            """
+            def drain(pool):
+                pool.pop()
+            """
+        )
+    )
+    report = lint(select=["RES001"])
+    assert codes(report) == ["RES001"]
+
+
+def test_escape_by_return_discharges(make_tree):
+    _, lint = make_tree(
+        tree(
+            """
+            def take(pool):
+                chunk = pool.pop()
+                return chunk
+            """
+        )
+    )
+    report = lint(select=["RES001"])
+    assert report.ok, report.render_text()
+
+
+def test_use_after_release_of_view_attr(make_tree):
+    _, lint = make_tree(
+        tree(
+            """
+            def drain(pool):
+                chunk = pool.pop()
+                pool.release(chunk)
+                return chunk.samples
+            """
+        )
+    )
+    report = lint(select=["RES002"])
+    assert codes(report) == ["RES002"]
+    assert "samples" in report.active[0].message
+
+
+def test_metadata_read_after_release_is_legal(make_tree):
+    # Plain metadata (size, flags) stays valid after the slab goes back
+    # to the pool; only the pooled view attrs alias recycled memory.
+    _, lint = make_tree(
+        tree(
+            """
+            def drain(pool):
+                chunk = pool.pop()
+                pool.release(chunk)
+                return chunk.size
+            """
+        )
+    )
+    report = lint(select=["RES002"])
+    assert report.ok, report.render_text()
+
+
+def test_reacquire_kills_released_state(make_tree):
+    _, lint = make_tree(
+        tree(
+            """
+            def drain(pool):
+                chunk = pool.pop()
+                pool.release(chunk)
+                chunk = pool.pop()
+                view = chunk.samples
+                pool.release(chunk)
+                return view
+            """
+        )
+    )
+    report = lint(select=["RES002"])
+    assert report.ok, report.render_text()
+
+
+def test_out_of_scope_pop_is_not_tracked(make_tree):
+    _, lint = make_tree(
+        {
+            "repro/tools/queueing.py": """
+            def drain(pool):
+                chunk = pool.pop()
+                chunk.size = 0
+            """
+        }
+    )
+    report = lint(select=["RES001", "RES002"])
+    assert report.ok, report.render_text()

@@ -1,0 +1,269 @@
+"""SCEN001/SCEN002: scenario component contracts, statically."""
+
+from __future__ import annotations
+
+from .conftest import codes
+
+#: Minimal component base mirroring repro/scenario/component.py.
+BASE = {
+    "repro/scenario/component.py": """
+    class Component:
+        slot = ""
+        name = ""
+        provides = ()
+        requires = ()
+
+        def run(self, ctx):
+            raise NotImplementedError
+    """
+}
+
+
+def tree(body: str, relpath: str = "repro/scenario/components/custom.py"):
+    files = dict(BASE)
+    files[relpath] = body
+    return files
+
+
+CLEAN = """
+from ..component import Component
+
+class Source(Component):
+    slot = "source"
+    name = "src"
+    provides = ("sig.raw",)
+    requires = ()
+
+    def run(self, ctx):
+        ctx.publish(self, "sig.raw", 1.0)
+
+class Sink(Component):
+    slot = "sink"
+    name = "snk"
+    provides = ("sig.out",)
+    requires = ("sig.raw",)
+
+    def run(self, ctx):
+        raw = ctx.get("sig.raw")
+        ctx.publish(self, "sig.out", raw * 2)
+"""
+
+
+def test_clean_component_pair(make_tree):
+    _, lint = make_tree(tree(CLEAN))
+    report = lint(select=["SCEN001", "SCEN002"])
+    assert report.ok, report.render_text()
+
+
+def test_undeclared_publish(make_tree):
+    _, lint = make_tree(
+        tree(
+            """
+            from ..component import Component
+
+            class Source(Component):
+                slot = "source"
+                name = "src"
+                provides = ("sig.raw",)
+                requires = ()
+
+                def run(self, ctx):
+                    ctx.publish(self, "sig.extra", 1.0)
+            """
+        )
+    )
+    report = lint(select=["SCEN001"])
+    assert codes(report) == ["SCEN001"]
+    assert "sig.extra" in report.active[0].message
+    assert "provides" in report.active[0].message
+
+
+def test_undeclared_get(make_tree):
+    _, lint = make_tree(
+        tree(
+            """
+            from ..component import Component
+
+            class Source(Component):
+                slot = "source"
+                name = "src"
+                provides = ("sig.raw", "sig.side")
+                requires = ()
+
+                def run(self, ctx):
+                    ctx.publish(self, "sig.raw", 1.0)
+
+            class Sink(Component):
+                slot = "sink"
+                name = "snk"
+                provides = ()
+                requires = ("sig.raw",)
+
+                def run(self, ctx):
+                    return ctx.get("sig.side")
+            """
+        )
+    )
+    report = lint(select=["SCEN001"])
+    assert codes(report) == ["SCEN001"]
+    assert "requires" in report.active[0].message
+
+
+def test_unsatisfiable_get(make_tree):
+    _, lint = make_tree(
+        tree(
+            """
+            from ..component import Component
+
+            class Sink(Component):
+                slot = "sink"
+                name = "snk"
+                provides = ()
+                requires = ("sig.ghost",)
+
+                def run(self, ctx):
+                    return ctx.get("sig.ghost")
+            """
+        )
+    )
+    report = lint(select=["SCEN001"])
+    assert codes(report) == ["SCEN001"]
+    assert "never be satisfied" in report.active[0].message
+
+
+def test_has_probe_and_computed_names_are_exempt(make_tree):
+    _, lint = make_tree(
+        tree(
+            """
+            from ..component import Component
+
+            class Sink(Component):
+                slot = "sink"
+                name = "snk"
+                provides = ()
+                requires = ()
+
+                def run(self, ctx):
+                    if ctx.has("sig.optional"):
+                        return 1
+                    key = "sig." + self.name
+                    return ctx.get(key)
+            """
+        )
+    )
+    report = lint(select=["SCEN001"])
+    assert report.ok, report.render_text()
+
+
+def test_foreign_stream_draw(make_tree):
+    _, lint = make_tree(
+        tree(
+            """
+            from ..component import Component
+
+            class Pair(Component):
+                slot = "pair"
+                name = "pair"
+                provides = ()
+                requires = ()
+
+                def run(self, ctx, other):
+                    return ctx.rng(other).normal()
+            """
+        )
+    )
+    report = lint(select=["SCEN002"])
+    assert codes(report) == ["SCEN002"]
+    assert "does not own" in report.active[0].message
+
+
+def test_global_numpy_and_stdlib_random_draws(make_tree):
+    _, lint = make_tree(
+        tree(
+            """
+            import random
+
+            import numpy as np
+
+            from ..component import Component
+
+            class Noisy(Component):
+                slot = "noisy"
+                name = "noisy"
+                provides = ()
+                requires = ()
+
+                def run(self, ctx):
+                    a = np.random.standard_normal(4)
+                    b = np.random.default_rng()
+                    c = random.random()
+                    return a, b, c
+            """
+        )
+    )
+    report = lint(select=["SCEN002"])
+    assert codes(report) == ["SCEN002", "SCEN002", "SCEN002"]
+
+
+def test_own_stream_and_seeded_generator_pass(make_tree):
+    _, lint = make_tree(
+        tree(
+            """
+            import numpy as np
+
+            from ..component import Component
+
+            class Quiet(Component):
+                slot = "quiet"
+                name = "quiet"
+                provides = ()
+                requires = ()
+
+                def run(self, ctx):
+                    rng = ctx.rng(self)
+                    sub = np.random.default_rng(ctx.derive_seed("sub"))
+                    return rng.normal() + sub.normal()
+            """
+        )
+    )
+    report = lint(select=["SCEN002"])
+    assert report.ok, report.render_text()
+
+
+def test_non_component_classes_are_exempt(make_tree):
+    # The same calls outside a Component subclass belong to other
+    # rules (DET001), not the scenario-contract mirror.
+    _, lint = make_tree(
+        tree(
+            """
+            class Helper:
+                def run(self, ctx):
+                    ctx.publish(self, "anything", 1)
+            """
+        )
+    )
+    report = lint(select=["SCEN001", "SCEN002"])
+    assert report.ok, report.render_text()
+
+
+def test_inherited_declarations_resolve_through_base_chain(make_tree):
+    _, lint = make_tree(
+        tree(
+            """
+            from ..component import Component
+
+            class SourceBase(Component):
+                slot = "source"
+                provides = ("sig.raw",)
+                requires = ()
+
+            class Impl(SourceBase):
+                name = "impl"
+
+                def run(self, ctx):
+                    ctx.publish(self, "sig.raw", 1.0)
+            """
+        )
+    )
+    report = lint(select=["SCEN001"])
+    assert report.ok, report.render_text()
